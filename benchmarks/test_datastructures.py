@@ -1,0 +1,70 @@
+"""Raw data-structure throughput: wall-clock ops/sec of the engines.
+
+Not a paper artifact, but the sanity check behind Tables 6-7: the Python
+engines' measured relative cost should stay in the same ballpark as the
+cost model's prediction.
+"""
+
+from repro.cache.engines import FirstComeFirstServeEngine
+from repro.cache.slabs import SlabGeometry
+from repro.core.engine import CliffhangerEngine, HillClimbEngine
+from repro.workloads.facebook import FacebookETCStream
+
+GEO = SlabGeometry.default()
+N = 20_000
+
+
+def _requests():
+    stream = FacebookETCStream(app="bench", num_keys=4000, seed=1)
+    return list(stream.generate(N, 100.0))
+
+
+def _replay(engine, requests):
+    process = engine.process
+    for request in requests:
+        process(request)
+    return engine
+
+
+def test_throughput_default_engine(benchmark):
+    requests = _requests()
+    benchmark.pedantic(
+        lambda: _replay(
+            FirstComeFirstServeEngine("bench", 2 << 20, GEO), requests
+        ),
+        iterations=1,
+        rounds=3,
+    )
+
+
+def test_throughput_hill_climbing_engine(benchmark):
+    requests = _requests()
+    benchmark.pedantic(
+        lambda: _replay(HillClimbEngine("bench", 2 << 20, GEO), requests),
+        iterations=1,
+        rounds=3,
+    )
+
+
+def test_throughput_cliffhanger_engine(benchmark):
+    requests = _requests()
+    benchmark.pedantic(
+        lambda: _replay(CliffhangerEngine("bench", 2 << 20, GEO), requests),
+        iterations=1,
+        rounds=3,
+    )
+
+
+def test_throughput_stack_distance_profiler(benchmark):
+    from repro.profiling.stack_distance import StackDistanceProfiler
+
+    keys = [r.key for r in _requests()]
+
+    def profile():
+        profiler = StackDistanceProfiler()
+        record = profiler.record
+        for key in keys:
+            record(key)
+        return profiler
+
+    benchmark.pedantic(profile, iterations=1, rounds=3)

@@ -1,0 +1,10 @@
+"""Figure 1 bench: hit-rate curve of Application 3's large slab class."""
+
+
+def test_fig1_hit_rate_curve(run_bench):
+    result = run_bench("fig1")
+    rates = [row[1] for row in result.rows]
+    # Non-decreasing curve reaching a high plateau (paper: concave).
+    assert all(b >= a - 1e-9 for a, b in zip(rates, rates[1:]))
+    assert rates[-1] > 0.8
+    assert "concave" in result.notes

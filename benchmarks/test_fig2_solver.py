@@ -1,0 +1,11 @@
+"""Figure 2 bench: default vs Dynacache solver across the 20 apps."""
+
+
+def test_fig2_default_vs_solver(run_bench):
+    result = run_bench("fig2")
+    assert len(result.rows) == 20
+    by_app = {row[0]: row for row in result.rows}
+    # Imbalanced applications gain from the solver...
+    assert by_app["app06"][4] > 0.02
+    # ...and the cliff application 19 is hurt by it (paper: 99.5->74.7).
+    assert by_app["app19"][4] < 0.0

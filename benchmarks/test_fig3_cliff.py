@@ -1,0 +1,10 @@
+"""Figure 3 bench: the performance cliff of Application 11."""
+
+
+def test_fig3_cliff_curve(run_bench):
+    result = run_bench("fig3")
+    assert "cliff regions" in result.notes
+    assert "NONE" not in result.notes
+    # The hull dominates the raw curve somewhere (a genuine cliff).
+    gaps = [row[2] - row[1] for row in result.rows]
+    assert max(gaps) > 0.02

@@ -1,0 +1,14 @@
+"""Figure 4 bench: Talus partitioning, including the paper's exact
+957/7043-item worked example."""
+
+
+def test_fig4_talus_partitioning(run_bench):
+    result = run_bench("fig4")
+    paper = next(r for r in result.rows if r[0] == "paper-example")
+    assert round(paper[4], 2) == 0.48
+    assert abs(paper[5] - 957) < 1
+    assert abs(paper[6] - 7043) < 1
+    synthetic = [r for r in result.rows if r[0] != "paper-example"]
+    if synthetic:  # cliff detected in the synthetic curve
+        row = synthetic[0]
+        assert row[8] > row[7]  # hull beats raw inside the cliff

@@ -1,0 +1,13 @@
+"""Figure 6 bench: the headline Cliffhanger vs solver vs default table."""
+
+
+def test_fig6_cliffhanger(run_bench):
+    result = run_bench("fig6")
+    assert len(result.rows) == 20
+    default_mean = sum(r[2] for r in result.rows) / 20
+    cliffhanger_mean = sum(r[4] for r in result.rows) / 20
+    # Paper: Cliffhanger improves the mean hit rate; at bench scale we
+    # require it not to regress and to win on the solver-hostile app 19.
+    assert cliffhanger_mean >= default_mean - 0.005
+    by_app = {r[0]: r for r in result.rows}
+    assert by_app["app19"][4] >= by_app["app19"][3]  # beats the solver

@@ -1,0 +1,10 @@
+"""Figure 7 bench: miss reduction and memory savings (app subset --
+the full 20-app sweep replays the trace dozens of times)."""
+
+
+def test_fig7_memory_savings(run_bench):
+    result = run_bench("fig7", apps=[2, 3, 19])
+    assert {row[0] for row in result.rows} == {"app02", "app03", "app19"}
+    # Savings are a fraction in [0, 0.75] by construction of the grid.
+    for row in result.rows:
+        assert 0.0 <= row[3] <= 0.75

@@ -1,0 +1,15 @@
+"""Figure 8 bench: per-slab memory over time under hill climbing."""
+
+
+def test_fig8_memory_timeline(run_bench):
+    result = run_bench("fig8")
+    assert len(result.rows) >= 10
+    slab_columns = result.headers[1:]
+    assert len(slab_columns) >= 3  # app05 spreads over several classes
+    # Memory actually moves over the week: some series is non-constant.
+    moved = False
+    for col in range(1, len(result.headers)):
+        series = [row[col] for row in result.rows]
+        if max(series) - min(series) > 1e-6:
+            moved = True
+    assert moved

@@ -1,0 +1,12 @@
+"""Figure 9 bench: hit rate over time while scaling a cliff."""
+
+
+def test_fig9_convergence(run_bench):
+    result = run_bench("fig9")
+    active = [row for row in result.rows if row[1] > 0]
+    assert len(active) >= 10
+    # The stable window beats the earliest windows (the climb).
+    early = sum(r[2] for r in active[:3]) / 3
+    mid = active[int(len(active) * 0.45): int(len(active) * 0.7)]
+    stable = sum(r[2] for r in mid) / max(1, len(mid))
+    assert stable >= early - 0.05

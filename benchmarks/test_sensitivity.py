@@ -1,0 +1,14 @@
+"""Section 5.3 bench: credit-size / shadow-size sensitivity sweep."""
+
+
+def test_sensitivity_sweep(run_bench):
+    result = run_bench("sensitivity", scale=0.02)
+    assert len(result.rows) >= 12
+    # All configurations produce sane hit rates; the paper's 1-4KB
+    # credits should be competitive with the best configuration found.
+    rates = {(row[0], row[1]): row[3] for row in result.rows[:-2]}
+    best = max(rates.values())
+    small_credit_best = max(
+        rate for (credit, _), rate in rates.items() if credit <= 4096
+    )
+    assert small_credit_best >= best - 0.08

@@ -1,0 +1,11 @@
+"""Table 1 bench: per-slab-class miss shares, applications 4 and 6."""
+
+
+def test_table1_slab_misses(run_bench):
+    result = run_bench("tab1")
+    apps = {row[0] for row in result.rows}
+    assert apps == {"app04", "app06"}
+    # GET shares per app sum to ~100%.
+    for app in apps:
+        total = sum(row[2] for row in result.rows if row[0] == app)
+        assert abs(total - 100.0) < 1.0

@@ -1,0 +1,12 @@
+"""Table 3 bench: cross-application memory optimization."""
+
+
+def test_table3_cross_app(run_bench):
+    result = run_bench("tab3")
+    assert len(result.rows) == 5
+    # Memory percentages sum to ~100 before and after.
+    assert abs(sum(r[1] for r in result.rows) - 100.0) < 1.0
+    assert abs(sum(r[2] for r in result.rows) - 100.0) < 2.0
+    # The under-provisioned app 2 should gain memory (paper: 4% -> 13%).
+    app2 = next(r for r in result.rows if r[0] == "app02")
+    assert app2[2] >= app2[1]

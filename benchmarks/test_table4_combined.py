@@ -1,0 +1,11 @@
+"""Table 4 bench: the combined-algorithm ablation on application 19."""
+
+
+def test_table4_combined_ablation(run_bench):
+    result = run_bench("tab4")
+    total = next(row for row in result.rows if row[0] == "total")
+    default, cliff_only, hill_only, combined = total[2:6]
+    # Paper ordering: 37.3% < 45.5% < 70.3% < 72.1%.
+    assert cliff_only > default
+    assert combined > default
+    assert combined >= cliff_only - 0.02

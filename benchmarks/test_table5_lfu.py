@@ -1,0 +1,14 @@
+"""Table 5 bench (+ section 5.5): eviction-scheme comparison."""
+
+
+def test_table5_eviction_schemes(run_bench):
+    result = run_bench("tab5")
+    headers = result.headers
+    lru = headers.index("lru")
+    arc = headers.index("arc")
+    cliffhanger = headers.index("cliffhanger+lru")
+    for row in result.rows:
+        # ARC gives no improvement on these traces (paper section 5.5).
+        assert row[arc] <= row[lru] + 0.03
+        # Cliffhanger does not regress vs plain LRU.
+        assert row[cliffhanger] >= row[lru] - 0.02

@@ -1,0 +1,11 @@
+"""Table 6 bench: latency overhead in the all-miss worst case."""
+
+
+def test_table6_latency_overhead(run_bench):
+    result = run_bench("tab6", scale=0.2)
+    assert len(result.rows) == 4  # 2 algorithms x GET/SET
+    for row in result.rows:
+        algorithm, op, hit_pct, miss_pct = row
+        # Paper regime: low single digits; hits cheaper than misses.
+        assert 0.0 <= hit_pct <= miss_pct + 1.0
+        assert miss_pct < 15.0

@@ -1,0 +1,10 @@
+"""Table 7 bench: throughput slowdown vs GET/SET mix."""
+
+
+def test_table7_throughput_slowdown(run_bench):
+    result = run_bench("tab7", scale=0.2)
+    assert len(result.rows) == 3
+    slowdowns = [row[2] for row in result.rows]
+    # Paper: 1.5% / 3% / 3.7% -- small, and growing with SET share.
+    assert all(0.0 <= s < 15.0 for s in slowdowns)
+    assert slowdowns[-1] >= slowdowns[0] - 0.5

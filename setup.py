@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment this reproduction targets may lack the ``wheel`` package,
+which PEP 517 editable installs require; ``python setup.py develop`` (or
+``pip install -e . --no-build-isolation``) then still works through this
+shim. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

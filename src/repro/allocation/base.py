@@ -1,0 +1,125 @@
+"""Allocator interface.
+
+An allocator solves (an approximation of) the paper's Equation 1::
+
+    maximize   sum_i  w_i * f_i * h_i(m_i)
+    subject to sum_i  m_i <= M
+
+given per-queue hit-rate curves ``h_i`` and GET frequencies ``f_i``. The
+queues may be slab classes of one application or whole applications
+(section 3.3); the size unit just has to be consistent across curves,
+frequencies and the budget.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Mapping, Optional
+
+from repro.common.errors import AllocationError
+from repro.profiling.hrc import HitRateCurve
+
+QueueId = Hashable
+
+
+@dataclass
+class AllocationPlan:
+    """The output of an allocator.
+
+    Attributes:
+        allocations: Size (bytes or items) granted per queue.
+        expected_hit_rates: The hit rate each queue's curve predicts at
+            its granted size.
+        expected_overall_hit_rate: Frequency-weighted overall prediction.
+    """
+
+    allocations: Dict[QueueId, float]
+    expected_hit_rates: Dict[QueueId, float] = field(default_factory=dict)
+    expected_overall_hit_rate: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return sum(self.allocations.values())
+
+    def describe(self) -> str:
+        lines = ["queue        alloc       exp.hitrate"]
+        for queue_id in sorted(self.allocations, key=str):
+            rate = self.expected_hit_rates.get(queue_id, float("nan"))
+            lines.append(
+                f"{str(queue_id):<12} {self.allocations[queue_id]:>10.0f} "
+                f"{rate:>10.4f}"
+            )
+        lines.append(
+            f"overall expected hit rate: "
+            f"{self.expected_overall_hit_rate:.4f}"
+        )
+        return "\n".join(lines)
+
+
+class Allocator(abc.ABC):
+    """Base class for curve-driven allocators."""
+
+    @abc.abstractmethod
+    def allocate(
+        self,
+        curves: Mapping[QueueId, HitRateCurve],
+        frequencies: Mapping[QueueId, float],
+        total: float,
+        weights: Optional[Mapping[QueueId, float]] = None,
+    ) -> AllocationPlan:
+        """Produce an allocation of ``total`` size units across queues.
+
+        ``frequencies`` are GET counts (the ``f_i`` of Eq. 1) and
+        ``weights`` the optional operator priorities ``w_i`` (default 1).
+        """
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _validate(
+        curves: Mapping[QueueId, HitRateCurve],
+        frequencies: Mapping[QueueId, float],
+        total: float,
+    ) -> None:
+        if not curves:
+            raise AllocationError("no queues to allocate to")
+        if total <= 0:
+            raise AllocationError(f"budget must be positive, got {total}")
+        missing = set(curves) - set(frequencies)
+        if missing:
+            raise AllocationError(
+                f"queues without frequencies: {sorted(missing, key=str)}"
+            )
+        negative = [q for q, f in frequencies.items() if f < 0]
+        if negative:
+            raise AllocationError(
+                f"negative frequencies for {sorted(negative, key=str)}"
+            )
+
+    @staticmethod
+    def _finish_plan(
+        allocations: Dict[QueueId, float],
+        curves: Mapping[QueueId, HitRateCurve],
+        frequencies: Mapping[QueueId, float],
+        weights: Optional[Mapping[QueueId, float]],
+    ) -> AllocationPlan:
+        rates = {
+            queue_id: curves[queue_id].hit_rate(size)
+            for queue_id, size in allocations.items()
+        }
+        weight_of = (lambda q: weights.get(q, 1.0)) if weights else (
+            lambda q: 1.0
+        )
+        numerator = sum(
+            weight_of(q) * frequencies[q] * rates[q] for q in allocations
+        )
+        denominator = sum(
+            weight_of(q) * frequencies[q] for q in allocations
+        )
+        overall = numerator / denominator if denominator else 0.0
+        return AllocationPlan(
+            allocations=allocations,
+            expected_hit_rates=rates,
+            expected_overall_hit_rate=overall,
+        )

@@ -1,0 +1,38 @@
+"""Trivial static plans used as sanity baselines and initializers."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Sequence
+
+from repro.common.errors import AllocationError
+
+
+def uniform_plan(
+    queue_ids: Sequence[Hashable], total: float
+) -> Dict[Hashable, float]:
+    """Split ``total`` evenly across queues."""
+    if not queue_ids:
+        raise AllocationError("no queues")
+    if total <= 0:
+        raise AllocationError(f"budget must be positive, got {total}")
+    share = total / len(queue_ids)
+    return {queue_id: share for queue_id in queue_ids}
+
+
+def proportional_plan(
+    demand: Mapping[Hashable, float], total: float
+) -> Dict[Hashable, float]:
+    """Split ``total`` proportionally to per-queue demand (e.g. byte
+    arrival volume), which is roughly what first-come-first-serve
+    converges to under steady load."""
+    if not demand:
+        raise AllocationError("no queues")
+    if total <= 0:
+        raise AllocationError(f"budget must be positive, got {total}")
+    denominator = sum(demand.values())
+    if denominator <= 0:
+        return uniform_plan(list(demand), total)
+    return {
+        queue_id: total * amount / denominator
+        for queue_id, amount in demand.items()
+    }

@@ -1,0 +1,116 @@
+"""Talus partition planning with oracle curve knowledge (paper section 4.2).
+
+Talus (Beckmann & Sanchez, HPCA 2015) removes a performance cliff by
+splitting one queue into two smaller queues and hash-partitioning the
+request stream between them. If the operating point ``S`` lies on a convex
+region bracketed by hull anchors ``L < S < R``, then routing a fraction
+``rho`` of requests to a left queue of physical size ``L * rho`` and the
+rest to a right queue of size ``R * (1 - rho)``, with::
+
+    rho = (R - S) / ((R - S) + (S - L))
+
+makes the left queue *behave like* a queue of size L and the right like a
+queue of size R (each sees a thinned stream, so stack distances shrink by
+the same factor), and the combined hit rate is the linear interpolation of
+the curve at L and R -- a point on the concave hull.
+
+The paper's worked example (Figure 4): S = 8000, anchors (2000, 13500)
+give rho ~ 0.478, physical queues of 957 and 7043 items. This module
+reproduces those numbers exactly (see ``tests/allocation/test_talus.py``).
+
+Cliffhanger's cliff-scaling algorithm is the *incremental* version of this
+plan: it discovers L and R with shadow-queue pointers instead of reading
+them off a profiled curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import AllocationError
+from repro.profiling.hrc import HitRateCurve
+
+
+@dataclass(frozen=True)
+class TalusPartition:
+    """A concrete partitioning decision for one queue.
+
+    Attributes:
+        size: The physical operating point S (total size of both queues).
+        left_anchor: Simulated size L of the left queue (cliff bottom).
+        right_anchor: Simulated size R of the right queue (cliff top).
+        left_fraction: Fraction rho of requests routed to the left queue.
+        left_size: Physical size of the left queue, ``L * rho``.
+        right_size: Physical size of the right queue, ``R * (1 - rho)``.
+        expected_hit_rate: Hull-interpolated hit rate at S.
+    """
+
+    size: float
+    left_anchor: float
+    right_anchor: float
+    left_fraction: float
+    left_size: float
+    right_size: float
+    expected_hit_rate: float
+
+    def __post_init__(self) -> None:
+        if not (self.left_anchor <= self.size <= self.right_anchor):
+            raise AllocationError(
+                f"operating point {self.size} outside anchors "
+                f"[{self.left_anchor}, {self.right_anchor}]"
+            )
+        if not 0.0 <= self.left_fraction <= 1.0:
+            raise AllocationError(
+                f"left_fraction {self.left_fraction} outside [0, 1]"
+            )
+        total = self.left_size + self.right_size
+        if abs(total - self.size) > 1e-6 * max(1.0, self.size):
+            raise AllocationError(
+                f"partition sizes {self.left_size} + {self.right_size} "
+                f"!= operating point {self.size}"
+            )
+
+
+def compute_ratio(size: float, left_anchor: float, right_anchor: float) -> float:
+    """The paper's Algorithm 3 (COMPUTERATIO).
+
+    ``ratio = distanceRight / (distanceRight + distanceLeft)`` when both
+    distances are positive, else 0.5 (no cliff detected: even split).
+    """
+    distance_right = right_anchor - size
+    distance_left = size - left_anchor
+    if distance_right > 0 and distance_left > 0:
+        return distance_right / (distance_right + distance_left)
+    return 0.5
+
+
+def plan_talus_partition(
+    curve: HitRateCurve,
+    size: float,
+    tolerance: float = 0.01,
+) -> Optional[TalusPartition]:
+    """Plan a Talus split of a queue of ``size`` given its full curve.
+
+    Returns None when ``size`` does not sit inside a performance cliff
+    (Talus then leaves the queue alone -- equivalently an even split,
+    which behaves identically to the unsplit queue, section 4.2).
+    """
+    anchors = curve.hull_anchors_for(size, tolerance=tolerance)
+    if anchors is None:
+        return None
+    left_anchor, right_anchor = anchors
+    ratio = compute_ratio(size, left_anchor, right_anchor)
+    expected = (
+        ratio * curve.hit_rate(left_anchor)
+        + (1.0 - ratio) * curve.hit_rate(right_anchor)
+    )
+    return TalusPartition(
+        size=size,
+        left_anchor=left_anchor,
+        right_anchor=right_anchor,
+        left_fraction=ratio,
+        left_size=left_anchor * ratio,
+        right_size=right_anchor * (1.0 - ratio),
+        expected_hit_rate=expected,
+    )

@@ -1,0 +1,334 @@
+"""Memory-management engines.
+
+An engine owns one application's reservation on one cache server and
+decides how those bytes are divided among eviction queues. The paper's
+baselines live here:
+
+* :class:`FirstComeFirstServeEngine` -- stock Memcached behaviour: slab
+  classes grab memory greedily as requests arrive; once the reservation is
+  full each class evicts from its own LRU queue (paper section 2).
+* :class:`PlannedEngine` -- a static per-class plan, used to apply the
+  Dynacache solver's allocation (paper section 2.1 / Figure 2) or any
+  other allocator's output.
+
+The Cliffhanger engines (hill climbing, cliff scaling, combined) extend
+the same interface from :mod:`repro.core.engine`; the log-structured
+global-LRU engine is in :mod:`repro.cache.log_structured`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import CacheError, ConfigurationError
+from repro.cache.policies import EvictionPolicy, make_policy
+from repro.cache.slabs import SlabGeometry
+from repro.cache.stats import AccessOutcome, OpCounter
+from repro.workloads.trace import Request
+
+
+class Engine(abc.ABC):
+    """Base class: one tenant's memory manager.
+
+    Subclasses must implement :meth:`process`, returning an
+    :class:`AccessOutcome` per request, and expose per-class capacities for
+    the timeline experiments. Budgets are bytes.
+    """
+
+    def __init__(
+        self,
+        app: str,
+        budget_bytes: float,
+        geometry: SlabGeometry,
+        fill_on_miss: bool = True,
+    ) -> None:
+        if budget_bytes <= 0:
+            raise ConfigurationError(
+                f"budget must be positive, got {budget_bytes}"
+            )
+        self.app = app
+        self.budget_bytes = float(budget_bytes)
+        self.geometry = geometry
+        #: Whether a GET miss inserts the object (trace-replay
+        #: convention). The micro-benchmarks disable it so GET and SET
+        #: costs are attributable separately, like the paper's protocol.
+        self.fill_on_miss = fill_on_miss
+        self.ops = OpCounter()
+
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def process(self, request: Request) -> AccessOutcome:
+        """Apply one request and report its outcome."""
+
+    @abc.abstractmethod
+    def capacities(self) -> Dict[int, float]:
+        """Current byte capacity per slab class (diagnostic/timelines)."""
+
+    @abc.abstractmethod
+    def used_bytes(self) -> float:
+        """Bytes of the reservation currently holding items."""
+
+    # ------------------------------------------------------------------
+    # Cross-application rebalancing hooks (used by cross-app allocators).
+    # ------------------------------------------------------------------
+
+    def grow_budget(self, delta_bytes: float) -> None:
+        """Give the engine more memory."""
+        if delta_bytes < 0:
+            raise ConfigurationError("grow_budget needs a positive delta")
+        self.budget_bytes += delta_bytes
+
+    def shrink_budget(self, delta_bytes: float) -> int:
+        """Take memory away; returns the number of items evicted."""
+        if delta_bytes < 0:
+            raise ConfigurationError("shrink_budget needs a positive delta")
+        self.budget_bytes = max(0.0, self.budget_bytes - delta_bytes)
+        return self._enforce_budget()
+
+    def _enforce_budget(self) -> int:
+        """Subclasses shrink internal queues until within budget; returns
+        evicted item count. Default: nothing to do."""
+        return 0
+
+    # ------------------------------------------------------------------
+
+    def _chunk_and_class(self, request: Request) -> Tuple[int, int]:
+        """Map a request to (slab class, chunk size)."""
+        from repro.cache.item import CacheItem
+
+        item = CacheItem(
+            key=request.key,
+            value_size=request.value_size,
+            key_size=request.key_size,
+        )
+        class_index = self.geometry.class_for_size(item.total_size)
+        return class_index, self.geometry.chunk_size(class_index)
+
+
+class SlabEngineBase(Engine):
+    """Shared plumbing for engines that keep one policy queue per slab
+    class: lazily-created queues, key→class tracking (items can change
+    class when re-SET with a different size), and GET/SET/DELETE routing.
+    """
+
+    def __init__(
+        self,
+        app: str,
+        budget_bytes: float,
+        geometry: SlabGeometry,
+        policy: str = "lru",
+        fill_on_miss: bool = True,
+    ) -> None:
+        super().__init__(app, budget_bytes, geometry, fill_on_miss)
+        self.policy_kind = policy
+        self.queues: Dict[int, EvictionPolicy] = {}
+        self._class_of_key: Dict[str, int] = {}
+
+    # -- queue management ------------------------------------------------
+
+    def _queue(self, class_index: int) -> EvictionPolicy:
+        queue = self.queues.get(class_index)
+        if queue is None:
+            queue = make_policy(
+                self.policy_kind, 0.0, name=f"{self.app}/slab{class_index}"
+            )
+            self.queues[class_index] = queue
+        return queue
+
+    def capacities(self) -> Dict[int, float]:
+        return {
+            idx: queue.capacity for idx, queue in sorted(self.queues.items())
+        }
+
+    def used_bytes(self) -> float:
+        return sum(queue.used for queue in self.queues.values())
+
+    def _forget_evicted(self, evicted: List[Tuple[object, float]]) -> int:
+        for key, _ in evicted:
+            self._class_of_key.pop(key, None)
+        self.ops.evictions += len(evicted)
+        return len(evicted)
+
+    # -- request handling --------------------------------------------------
+
+    def process(self, request: Request) -> AccessOutcome:
+        class_index, chunk = self._chunk_and_class(request)
+        if request.op == "delete":
+            return self._delete(request, class_index)
+        if request.op == "set":
+            evicted = self._store(request, class_index, chunk)
+            return AccessOutcome(
+                hit=False,
+                app=self.app,
+                op="set",
+                slab_class=class_index,
+                evicted=evicted,
+            )
+        # GET path.
+        self.ops.hash_lookups += 1
+        resident_class = self._class_of_key.get(request.key)
+        if resident_class is not None and self._queue(resident_class).access(
+            request.key
+        ):
+            self.ops.promotes += 1
+            return AccessOutcome(
+                hit=True, app=self.app, op="get", slab_class=resident_class
+            )
+        evicted = (
+            self._store(request, class_index, chunk)
+            if self.fill_on_miss
+            else 0
+        )
+        return AccessOutcome(
+            hit=False,
+            app=self.app,
+            op="get",
+            slab_class=class_index,
+            evicted=evicted,
+        )
+
+    def _delete(self, request: Request, class_index: int) -> AccessOutcome:
+        self.ops.hash_lookups += 1
+        resident_class = self._class_of_key.pop(request.key, None)
+        if resident_class is not None:
+            self._queue(resident_class).remove(request.key)
+        return AccessOutcome(
+            hit=resident_class is not None,
+            app=self.app,
+            op="delete",
+            slab_class=class_index,
+        )
+
+    def _store(self, request: Request, class_index: int, chunk: int) -> int:
+        """Insert the item, handling class migration. Returns evictions."""
+        old_class = self._class_of_key.get(request.key)
+        if old_class is not None and old_class != class_index:
+            self._queue(old_class).remove(request.key)
+            del self._class_of_key[request.key]
+        evicted = self._insert(request, class_index, chunk)
+        self._class_of_key[request.key] = class_index
+        self.ops.inserts += 1
+        return evicted
+
+    @abc.abstractmethod
+    def _insert(self, request: Request, class_index: int, chunk: int) -> int:
+        """Engine-specific insertion; returns number of evictions."""
+
+
+class FirstComeFirstServeEngine(SlabEngineBase):
+    """Stock Memcached: greedy slab growth, per-class LRU eviction.
+
+    Until the reservation fills up, a class needing room is simply granted
+    another chunk. Once memory is exhausted, insertions evict from the
+    *item's own class*. A class that owns no memory at that point steals
+    one chunk from the class with the most capacity -- stock Memcached
+    would fail the store instead; the steal (mirroring the slab-rebalance
+    patches Twitter/Facebook deploy, paper section 2) keeps week-long
+    replays from wedging while preserving the first-come-first-serve
+    pathology the paper analyzes: memory goes to whoever filled it first,
+    not to whoever benefits.
+    """
+
+    def _insert(self, request: Request, class_index: int, chunk: int) -> int:
+        queue = self._queue(class_index)
+        total_capacity = sum(q.capacity for q in self.queues.values())
+        if queue.used + chunk > queue.capacity:
+            if total_capacity + chunk <= self.budget_bytes:
+                queue.resize(queue.capacity + chunk)
+            elif queue.capacity < chunk:
+                self._steal_chunk_for(class_index, chunk)
+        evicted = queue.insert(request.key, chunk)
+        return self._forget_evicted(evicted)
+
+    def _steal_chunk_for(self, class_index: int, chunk: int) -> None:
+        donors = [
+            (queue.capacity, idx)
+            for idx, queue in self.queues.items()
+            if idx != class_index and queue.capacity >= chunk
+        ]
+        if not donors:
+            return
+        _, donor_idx = max(donors)
+        donor = self.queues[donor_idx]
+        self._forget_evicted(donor.resize(donor.capacity - chunk))
+        grown = self.queues[class_index]
+        grown.resize(grown.capacity + chunk)
+
+    def _enforce_budget(self) -> int:
+        evicted_total = 0
+        while (
+            sum(q.capacity for q in self.queues.values()) > self.budget_bytes
+        ):
+            donors = [
+                (queue.capacity, idx)
+                for idx, queue in self.queues.items()
+                if queue.capacity > 0
+            ]
+            if not donors:
+                break
+            capacity, idx = max(donors)
+            queue = self.queues[idx]
+            chunk = self.geometry.chunk_size(idx)
+            shrink = min(chunk, capacity)
+            evicted_total += self._forget_evicted(
+                queue.resize(capacity - shrink)
+            )
+        return evicted_total
+
+
+class PlannedEngine(SlabEngineBase):
+    """A fixed per-class allocation, e.g. the Dynacache solver's plan.
+
+    ``plan`` maps slab class index to byte capacity; classes absent from
+    the plan get zero bytes and act as pass-through (every GET misses,
+    nothing is stored), matching how a solver starves queues it considers
+    worthless.
+    """
+
+    def __init__(
+        self,
+        app: str,
+        budget_bytes: float,
+        geometry: SlabGeometry,
+        plan: Dict[int, float],
+        policy: str = "lru",
+        fill_on_miss: bool = True,
+    ) -> None:
+        super().__init__(
+            app, budget_bytes, geometry, policy=policy,
+            fill_on_miss=fill_on_miss,
+        )
+        total = sum(plan.values())
+        if total - budget_bytes > 1e-6:
+            raise ConfigurationError(
+                f"plan allocates {total}B > budget {budget_bytes}B"
+            )
+        self.plan = dict(plan)
+        for class_index, capacity in plan.items():
+            if capacity < 0:
+                raise ConfigurationError(
+                    f"negative capacity for class {class_index}"
+                )
+            self._queue(class_index).resize(capacity)
+
+    def _insert(self, request: Request, class_index: int, chunk: int) -> int:
+        queue = self._queue(class_index)
+        if queue.capacity < chunk:
+            return 0  # class starved by the plan: bypass the cache
+        evicted = queue.insert(request.key, chunk)
+        return self._forget_evicted(evicted)
+
+    def _enforce_budget(self) -> int:
+        # Static plans shrink proportionally when the budget shrinks.
+        total = sum(q.capacity for q in self.queues.values())
+        if total <= self.budget_bytes or total == 0:
+            return 0
+        scale = self.budget_bytes / total
+        evicted = 0
+        for queue in self.queues.values():
+            evicted += self._forget_evicted(
+                queue.resize(queue.capacity * scale)
+            )
+        return evicted

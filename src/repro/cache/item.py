@@ -1,0 +1,50 @@
+"""The cache item model.
+
+The simulator never materializes item values -- only their sizes. A
+:class:`CacheItem` therefore carries the key, the key's size in bytes, the
+value's size in bytes, and the fixed metadata overhead Memcached charges per
+item. The *total* size determines which slab class the item lands in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.constants import ITEM_OVERHEAD_BYTES
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CacheItem:
+    """An immutable description of one cached object.
+
+    Attributes:
+        key: The cache key. Any hashable; traces use strings like
+            ``"app3:k00042"``.
+        key_size: Bytes the key occupies. Defaults to the length of the
+            key's string form, matching how Memcached charges for keys.
+        value_size: Bytes the value occupies.
+        overhead: Fixed per-item metadata bytes (item header, CAS, flags).
+    """
+
+    key: object
+    value_size: int
+    key_size: int = -1
+    overhead: int = ITEM_OVERHEAD_BYTES
+
+    def __post_init__(self) -> None:
+        if self.value_size < 0:
+            raise ConfigurationError(
+                f"value_size must be non-negative, got {self.value_size}"
+            )
+        if self.key_size < 0:
+            object.__setattr__(self, "key_size", len(str(self.key)))
+        if self.overhead < 0:
+            raise ConfigurationError(
+                f"overhead must be non-negative, got {self.overhead}"
+            )
+
+    @property
+    def total_size(self) -> int:
+        """Bytes this item needs in a slab chunk (key + value + header)."""
+        return self.key_size + self.value_size + self.overhead

@@ -1,0 +1,70 @@
+"""Eviction policies.
+
+Cliffhanger "supports any eviction policy, including LRU, LFU or hybrid
+policies such as ARC" (paper section 1). This package provides the policies
+the paper discusses plus the classic variants from its related work:
+
+================  ==========================================================
+``lru``           Least-recently-used (Memcached's default; paper baseline).
+``lfu``           Least-frequently-used with O(1) frequency buckets.
+``slru``          Segmented LRU (probationary + protected segments).
+``facebook``      Facebook's mid-insertion scheme (section 5.5): first hit
+                  inserts mid-queue, second hit promotes to the top.
+``arc``           Adaptive Replacement Cache (Megiddo & Modha, FAST'03).
+``lruk``          LRU-K (O'Neil et al., SIGMOD'93), K = 2 by default.
+``twoq``          2Q (Johnson & Shasha, VLDB'94).
+================  ==========================================================
+
+All policies share the :class:`EvictionPolicy` interface: capacities and
+item weights are measured in bytes, and evictions are *returned* to the
+caller so that engines can forward evicted keys into shadow queues.
+"""
+
+from typing import Callable, Dict
+
+from repro.cache.policies.base import EvictionPolicy
+from repro.cache.policies.lru import LRUPolicy
+from repro.cache.policies.lfu import LFUPolicy
+from repro.cache.policies.slru import FacebookPolicy, SLRUPolicy
+from repro.cache.policies.arc import ARCPolicy
+from repro.cache.policies.lruk import LRUKPolicy
+from repro.cache.policies.twoq import TwoQPolicy
+
+PolicyFactory = Callable[[float, str], EvictionPolicy]
+
+#: Registry mapping policy names to factories ``(capacity, name) -> policy``.
+POLICIES: Dict[str, PolicyFactory] = {
+    "lru": lambda capacity, name="": LRUPolicy(capacity, name=name),
+    "lfu": lambda capacity, name="": LFUPolicy(capacity, name=name),
+    "slru": lambda capacity, name="": SLRUPolicy(capacity, name=name),
+    "facebook": lambda capacity, name="": FacebookPolicy(capacity, name=name),
+    "arc": lambda capacity, name="": ARCPolicy(capacity, name=name),
+    "lruk": lambda capacity, name="": LRUKPolicy(capacity, name=name),
+    "twoq": lambda capacity, name="": TwoQPolicy(capacity, name=name),
+}
+
+
+def make_policy(kind: str, capacity: float, name: str = "") -> EvictionPolicy:
+    """Instantiate a registered policy by name."""
+    try:
+        factory = POLICIES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {kind!r}; known: {sorted(POLICIES)}"
+        ) from None
+    return factory(capacity, name)
+
+
+__all__ = [
+    "EvictionPolicy",
+    "LRUPolicy",
+    "LFUPolicy",
+    "SLRUPolicy",
+    "FacebookPolicy",
+    "ARCPolicy",
+    "LRUKPolicy",
+    "TwoQPolicy",
+    "POLICIES",
+    "PolicyFactory",
+    "make_policy",
+]

@@ -1,0 +1,100 @@
+"""The eviction-policy interface.
+
+A policy manages the *physical* part of one queue: which keys are resident
+and which key to evict when space is needed. Weights and capacities are in
+bytes. Policies never interact with shadow queues directly; engines forward
+the eviction lists returned by :meth:`insert` and :meth:`resize` into
+whatever shadow structure they maintain.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, List, Tuple
+
+from repro.common.errors import ConfigurationError
+
+Evicted = List[Tuple[object, float]]
+
+
+class EvictionPolicy(abc.ABC):
+    """Abstract base class for all eviction policies."""
+
+    kind: str = "abstract"
+
+    def __init__(self, capacity: float, name: str = "") -> None:
+        if capacity < 0:
+            raise ConfigurationError(
+                f"policy capacity must be >= 0, got {capacity}"
+            )
+        self._capacity = float(capacity)
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    @property
+    @abc.abstractmethod
+    def used(self) -> float:
+        """Bytes currently occupied by resident keys."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of resident keys."""
+
+    @abc.abstractmethod
+    def __contains__(self, key: object) -> bool:
+        """True iff ``key`` is physically resident."""
+
+    @abc.abstractmethod
+    def keys(self) -> Iterator[object]:
+        """Iterate resident keys (order is policy-specific)."""
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def access(self, key: object) -> bool:
+        """A GET for ``key``: returns True on hit (and applies whatever
+        promotion the policy performs), False on miss."""
+
+    @abc.abstractmethod
+    def insert(self, key: object, weight: float) -> Evicted:
+        """Store ``key`` with ``weight`` bytes, evicting as needed.
+
+        Returns the evicted ``(key, weight)`` pairs, oldest-victim first.
+        Inserting a key that is already resident updates its weight and
+        counts as a fresh insertion (the SET path), not as a hit.
+        """
+
+    @abc.abstractmethod
+    def remove(self, key: object) -> bool:
+        """Delete ``key``; True if it was resident."""
+
+    @abc.abstractmethod
+    def resize(self, capacity: float) -> Evicted:
+        """Change the byte capacity, evicting overflow if shrinking."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    def _set_capacity(self, capacity: float) -> None:
+        if capacity < 0:
+            raise ConfigurationError(
+                f"policy capacity must be >= 0, got {capacity}"
+            )
+        self._capacity = float(capacity)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"capacity={self.capacity:.0f}, used={self.used:.0f}, "
+            f"items={len(self)})"
+        )

@@ -1,0 +1,117 @@
+"""Least-frequently-used eviction with O(1) frequency buckets.
+
+Implements the constant-time LFU scheme (frequency-indexed LRU lists): each
+resident key belongs to the bucket of its access count; eviction takes the
+least-recently-used key of the lowest non-empty frequency bucket, so ties
+within a frequency break by recency.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, Tuple
+
+from repro.cache.policies.base import Evicted, EvictionPolicy
+
+
+class LFUPolicy(EvictionPolicy):
+    """LFU with recency tie-breaking inside each frequency bucket."""
+
+    kind = "lfu"
+
+    def __init__(self, capacity: float, name: str = "") -> None:
+        super().__init__(capacity, name)
+        # key -> (frequency, weight)
+        self._meta: Dict[object, Tuple[int, float]] = {}
+        # frequency -> OrderedDict of keys (front = most recently used)
+        self._buckets: Dict[int, "OrderedDict[object, None]"] = {}
+        self._min_freq = 0
+        self._used = 0.0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def used(self) -> float:
+        return self._used
+
+    def __len__(self) -> int:
+        return len(self._meta)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._meta
+
+    def keys(self) -> Iterator[object]:
+        return iter(self._meta)
+
+    def frequency_of(self, key: object) -> int:
+        """Access count of a resident key (exposed for tests)."""
+        return self._meta[key][0]
+
+    # ------------------------------------------------------------------
+
+    def _bucket_add(self, freq: int, key: object) -> None:
+        bucket = self._buckets.setdefault(freq, OrderedDict())
+        bucket[key] = None
+        bucket.move_to_end(key, last=False)
+
+    def _bucket_discard(self, freq: int, key: object) -> None:
+        bucket = self._buckets[freq]
+        del bucket[key]
+        if not bucket:
+            del self._buckets[freq]
+
+    def _evict_one(self) -> Tuple[object, float]:
+        while self._min_freq not in self._buckets:
+            self._min_freq += 1
+        bucket = self._buckets[self._min_freq]
+        key, _ = bucket.popitem(last=True)
+        if not bucket:
+            del self._buckets[self._min_freq]
+        _, weight = self._meta.pop(key)
+        self._used -= weight
+        return key, weight
+
+    def _evict_overflow(self) -> Evicted:
+        evicted: Evicted = []
+        while self._meta and self._used > self.capacity:
+            evicted.append(self._evict_one())
+        return evicted
+
+    # ------------------------------------------------------------------
+
+    def access(self, key: object) -> bool:
+        meta = self._meta.get(key)
+        if meta is None:
+            return False
+        freq, weight = meta
+        self._bucket_discard(freq, key)
+        self._meta[key] = (freq + 1, weight)
+        self._bucket_add(freq + 1, key)
+        if freq == self._min_freq and self._min_freq not in self._buckets:
+            self._min_freq += 1
+        return True
+
+    def insert(self, key: object, weight: float) -> Evicted:
+        if key in self._meta:
+            freq, old_weight = self._meta[key]
+            self._used -= old_weight
+            self._bucket_discard(freq, key)
+        freq = 1
+        self._meta[key] = (freq, weight)
+        self._bucket_add(freq, key)
+        self._used += weight
+        self._min_freq = 1
+        return self._evict_overflow()
+
+    def remove(self, key: object) -> bool:
+        meta = self._meta.pop(key, None)
+        if meta is None:
+            return False
+        freq, weight = meta
+        self._bucket_discard(freq, key)
+        self._used -= weight
+        return True
+
+    def resize(self, capacity: float) -> Evicted:
+        self._set_capacity(capacity)
+        return self._evict_overflow()

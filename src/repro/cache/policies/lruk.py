@@ -1,0 +1,124 @@
+"""LRU-K eviction (O'Neil, O'Neil & Weikum, SIGMOD 1993).
+
+LRU-K evicts the key whose K-th most recent access is oldest; keys with
+fewer than K recorded accesses have backward K-distance infinity and are
+evicted first (tie-broken by least recent access), which makes LRU-K scan
+resistant for K >= 2.
+
+The implementation uses a logical clock and a lazy min-heap keyed by the
+K-th-last access time; stale heap entries are skipped at pop time via a
+per-key version counter. All heap operations are O(log n) amortized.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.cache.policies.base import Evicted, EvictionPolicy
+
+
+class _Entry:
+    __slots__ = ("weight", "history", "version")
+
+    def __init__(self, weight: float, k: int) -> None:
+        self.weight = weight
+        self.history: Deque[int] = deque(maxlen=k)
+        self.version = 0
+
+
+class LRUKPolicy(EvictionPolicy):
+    """LRU-K with lazy heap maintenance. Default K = 2."""
+
+    kind = "lruk"
+
+    def __init__(self, capacity: float, name: str = "", k: int = 2) -> None:
+        super().__init__(capacity, name)
+        if k < 1:
+            raise ConfigurationError(f"K must be >= 1, got {k}")
+        self.k = k
+        self._entries: Dict[object, _Entry] = {}
+        # Heap of (kth_last_access, last_access, version, key). Keys with
+        # fewer than K accesses use kth_last_access = -1 so they sort
+        # before every fully-observed key (infinite backward K-distance).
+        self._heap: List[Tuple[int, int, int, object]] = []
+        self._clock = 0
+        self._used = 0.0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def used(self) -> float:
+        return self._used
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def keys(self) -> Iterator[object]:
+        return iter(self._entries)
+
+    # ------------------------------------------------------------------
+
+    def _record_access(self, key: object, entry: _Entry) -> None:
+        self._clock += 1
+        entry.history.append(self._clock)
+        entry.version += 1
+        kth = (
+            entry.history[0] if len(entry.history) == self.k else -1
+        )
+        heapq.heappush(
+            self._heap, (kth, entry.history[-1], entry.version, key)
+        )
+
+    def _pop_victim(self) -> Tuple[object, float]:
+        while True:
+            kth, last, version, key = heapq.heappop(self._heap)
+            entry = self._entries.get(key)
+            if entry is None or entry.version != version:
+                continue  # stale heap record
+            del self._entries[key]
+            self._used -= entry.weight
+            return key, entry.weight
+
+    def _evict_overflow(self) -> Evicted:
+        evicted: Evicted = []
+        while self._entries and self._used > self.capacity:
+            evicted.append(self._pop_victim())
+        return evicted
+
+    # ------------------------------------------------------------------
+
+    def access(self, key: object) -> bool:
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        self._record_access(key, entry)
+        return True
+
+    def insert(self, key: object, weight: float) -> Evicted:
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = _Entry(weight, self.k)
+            self._entries[key] = entry
+            self._used += weight
+        else:
+            self._used += weight - entry.weight
+            entry.weight = weight
+        self._record_access(key, entry)
+        return self._evict_overflow()
+
+    def remove(self, key: object) -> bool:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        self._used -= entry.weight
+        return True
+
+    def resize(self, capacity: float) -> Evicted:
+        self._set_capacity(capacity)
+        return self._evict_overflow()

@@ -1,0 +1,131 @@
+"""Segmented LRU and Facebook's mid-insertion scheme.
+
+SLRU keeps two LRU segments: *protected* (top of the logical queue) and
+*probationary* (bottom). New items enter the probationary segment; a hit
+promotes to the protected segment; protected overflow demotes back to the
+front of the probationary segment; probationary overflow is evicted.
+
+The Facebook scheme the paper evaluates (section 5.5: "the first time a
+request hits it is inserted at the middle of the queue. When it hits a
+second time, it is inserted to the top of the queue") is exactly SLRU with
+a 50/50 split: inserting at the front of the bottom half *is* inserting at
+the middle of the queue.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.common.errors import ConfigurationError
+from repro.cache.keyqueue import KeyQueue
+from repro.cache.policies.base import Evicted, EvictionPolicy
+
+
+class SLRUPolicy(EvictionPolicy):
+    """Segmented LRU with a configurable protected fraction."""
+
+    kind = "slru"
+
+    def __init__(
+        self,
+        capacity: float,
+        name: str = "",
+        protected_fraction: float = 0.5,
+    ) -> None:
+        super().__init__(capacity, name)
+        if not 0.0 <= protected_fraction < 1.0:
+            raise ConfigurationError(
+                f"protected_fraction must be in [0, 1), got "
+                f"{protected_fraction}"
+            )
+        self.protected_fraction = protected_fraction
+        self._protected = KeyQueue(
+            capacity * protected_fraction, name=f"{name}/protected"
+        )
+        self._probation = KeyQueue(
+            capacity * (1.0 - protected_fraction), name=f"{name}/probation"
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def used(self) -> float:
+        return self._protected.used + self._probation.used
+
+    def __len__(self) -> int:
+        return len(self._protected) + len(self._probation)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._protected or key in self._probation
+
+    def keys(self) -> Iterator[object]:
+        yield from self._protected.keys_mru_to_lru()
+        yield from self._probation.keys_mru_to_lru()
+
+    def in_protected(self, key: object) -> bool:
+        """True iff the key sits in the protected segment (for tests)."""
+        return key in self._protected
+
+    # ------------------------------------------------------------------
+
+    def _cascade(self) -> Evicted:
+        """Demote protected overflow to probation, evict probation
+        overflow."""
+        for key, weight in self._protected.overflow():
+            self._probation.push_front(key, weight)
+        return list(self._probation.overflow())
+
+    def access(self, key: object) -> bool:
+        if key in self._protected:
+            weight = self._protected.weight_of(key)
+            self._protected.push_front(key, weight)
+            return True
+        if key in self._probation:
+            weight = self._probation.remove(key)
+            self._protected.push_front(key, weight)
+            # Promotion may overflow protected; demotions cannot overflow
+            # probation beyond what eviction resolves.
+            self._cascade()
+            return True
+        return False
+
+    def insert(self, key: object, weight: float) -> Evicted:
+        # A re-SET of a resident key keeps its segment; treat it as a
+        # fresh value in the same place with the new weight.
+        if key in self._protected:
+            self._protected.push_front(key, weight)
+        else:
+            if key in self._probation:
+                self._probation.remove(key)
+            self._probation.push_front(key, weight)
+        return self._cascade()
+
+    def remove(self, key: object) -> bool:
+        if key in self._protected:
+            self._protected.remove(key)
+            return True
+        if key in self._probation:
+            self._probation.remove(key)
+            return True
+        return False
+
+    def resize(self, capacity: float) -> Evicted:
+        self._set_capacity(capacity)
+        self._protected.resize(capacity * self.protected_fraction)
+        self._probation.resize(capacity * (1.0 - self.protected_fraction))
+        return self._cascade()
+
+
+class FacebookPolicy(SLRUPolicy):
+    """Facebook's mid-insertion LRU (paper section 5.5).
+
+    First SET lands at the middle of the logical queue; the first
+    subsequent hit promotes to the top. Items that are never re-referenced
+    only ever travel the bottom half before eviction, which protects the
+    hot top half from one-hit-wonder churn.
+    """
+
+    kind = "facebook"
+
+    def __init__(self, capacity: float, name: str = "") -> None:
+        super().__init__(capacity, name=name, protected_fraction=0.5)

@@ -1,0 +1,83 @@
+"""The multi-tenant cache server.
+
+A :class:`CacheServer` hosts one engine per application (Memcachier model:
+"each application reserves a certain amount of memory in advance", paper
+section 3) and replays traces through them, aggregating statistics. The
+server itself is deliberately thin -- all policy lives in the engines --
+mirroring how Cliffhanger "runs on each memory cache server and does not
+require any coordination between different servers" (section 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.cache.engines import Engine
+from repro.cache.slabs import SlabGeometry
+from repro.cache.stats import AccessOutcome, OpCounter, StatsRegistry
+from repro.workloads.trace import Request
+
+#: Observer invoked after every request: (request, outcome) -> None.
+Observer = Callable[[Request, AccessOutcome], None]
+
+
+class CacheServer:
+    """One cache server hosting multiple tenant engines."""
+
+    def __init__(self, geometry: Optional[SlabGeometry] = None) -> None:
+        self.geometry = geometry or SlabGeometry.default()
+        self.engines: Dict[str, Engine] = {}
+        self.stats = StatsRegistry()
+        self._observers: list[Observer] = []
+
+    # ------------------------------------------------------------------
+
+    def add_app(self, engine: Engine) -> None:
+        """Register a tenant. The engine's ``app`` name must be unique."""
+        if engine.app in self.engines:
+            raise ConfigurationError(f"app {engine.app!r} already registered")
+        self.engines[engine.app] = engine
+
+    def add_observer(self, observer: Observer) -> None:
+        """Attach a per-request observer (timelines, profilers, ...)."""
+        self._observers.append(observer)
+
+    # ------------------------------------------------------------------
+
+    def process(self, request: Request) -> AccessOutcome:
+        """Route one request to its tenant's engine and record stats."""
+        try:
+            engine = self.engines[request.app]
+        except KeyError:
+            raise ConfigurationError(
+                f"request for unknown app {request.app!r}"
+            ) from None
+        outcome = engine.process(request)
+        self.stats.record(outcome)
+        for observer in self._observers:
+            observer(request, outcome)
+        return outcome
+
+    def replay(self, trace: Iterable[Request]) -> StatsRegistry:
+        """Process an entire trace; returns the stats registry."""
+        process = self.process
+        for request in trace:
+            process(request)
+        return self.stats
+
+    # ------------------------------------------------------------------
+
+    def total_ops(self) -> OpCounter:
+        """Merged operation counts across all engines (for the cost
+        model)."""
+        merged = OpCounter()
+        for engine in self.engines.values():
+            merged.merge(engine.ops)
+        return merged
+
+    def memory_in_use(self) -> float:
+        return sum(engine.used_bytes() for engine in self.engines.values())
+
+    def memory_reserved(self) -> float:
+        return sum(engine.budget_bytes for engine in self.engines.values())

@@ -1,0 +1,73 @@
+"""Constants taken from the Cliffhanger paper and the Memcached ecosystem.
+
+Every constant documents the paper section it comes from so that readers can
+trace a magic number back to its source. All of them can be overridden
+through the configuration dataclasses; these are only the defaults.
+"""
+
+# --------------------------------------------------------------------------
+# Shadow-queue geometry (paper section 5.1 / 5.3 / 5.7)
+# --------------------------------------------------------------------------
+
+#: Size of the hill-climbing shadow queue, measured in the bytes of the
+#: requests it *represents* (keys only are stored). Section 5.3: "We found
+#: little variance in the behavior of the hill climbing algorithm when we
+#: use shadow queues over 1 MB."
+HILL_CLIMB_SHADOW_BYTES = 1 << 20
+
+#: Number of items in each cliff-scaling probe region. Section 5.1: "our
+#: implementation tracks whether it sees hits in the last part of the queue
+#: (the last 128 items). In order to track hits to the right of the pointer,
+#: a 128 item shadow queue is appended after the physical queue."
+CLIFF_PROBE_ITEMS = 128
+
+#: The cliff-scaling algorithm only runs on queues with more items than
+#: this. Section 5.1: "The implementation only runs the cliff scaling
+#: algorithm when the queue is relatively large (over 1000 items)."
+CLIFF_MIN_QUEUE_ITEMS = 1000
+
+#: Default credit granted on a shadow-queue hit, in bytes. Section 5.3:
+#: "we ... found that 1-4 KB provide the highest hit rates"; Figure 8 uses
+#: 4 KB credits.
+DEFAULT_CREDIT_BYTES = 4096
+
+#: Average key size observed in the Memcachier trace (section 5.7), used
+#: for shadow-queue memory-overhead accounting.
+AVG_KEY_BYTES = 14
+
+# --------------------------------------------------------------------------
+# Slab geometry (paper section 2, Memcached defaults)
+# --------------------------------------------------------------------------
+
+#: Smallest slab-class chunk size in bytes. The paper's example classes are
+#: "< 128B, 128-256B, etc."; Memcached's smallest chunk is in the tens of
+#: bytes. We start the power-of-two ladder at 64 bytes.
+MIN_CHUNK_BYTES = 64
+
+#: Largest slab-class chunk size in bytes (Memcached's default item limit
+#: is 1 MB).
+MAX_CHUNK_BYTES = 1 << 20
+
+#: Number of slab classes in the default power-of-two ladder
+#: (64 B .. 1 MB inclusive). Section 5.7: "In Memcachier applications have
+#: 15 slab classes at most."
+NUM_SLAB_CLASSES = 15
+
+#: Fixed per-item metadata overhead, mirroring Memcached's item header
+#: (pointers, CAS, flags). Counted into the chunk an item needs.
+ITEM_OVERHEAD_BYTES = 48
+
+# --------------------------------------------------------------------------
+# Simulation defaults
+# --------------------------------------------------------------------------
+
+#: Smallest capacity (in bytes) the hill climber will shrink a queue to.
+#: Prevents starving a queue to the point where its shadow queue can never
+#: observe demand again.
+MIN_QUEUE_BYTES = 4096
+
+#: Number of credits (in bytes) a queue must accumulate before physical
+#: memory is actually moved. Moving memory on every single shadow hit would
+#: thrash; the paper accumulates credits and re-allocates "once a queue
+#: reaches a certain amount of credits" (section 4.1).
+CREDIT_TRANSFER_THRESHOLD_BYTES = DEFAULT_CREDIT_BYTES

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the Cliffhanger reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. Each subclass marks one subsystem; none of them are ever
+raised for ordinary cache misses (misses are results, not errors).
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is invalid (negative capacity, empty slab
+    ladder, ratio outside ``[0, 1]``, ...)."""
+
+
+class CacheError(ReproError):
+    """The cache substrate was driven into an inconsistent state, e.g.
+    inserting an item larger than the largest slab chunk."""
+
+
+class AllocationError(ReproError):
+    """An allocation algorithm could not produce a feasible plan, e.g. the
+    per-queue minimums already exceed the total budget."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file or trace record could not be parsed."""

@@ -1,0 +1,62 @@
+"""Deterministic hashing helpers.
+
+The cliff-scaling algorithm routes each key to either the left or the right
+partition of a queue by hashing the key to the unit interval and comparing
+against the request ratio (Talus-style partitioning, paper section 4.2).
+The routing must be:
+
+* **deterministic across processes** -- Python's builtin ``hash`` is salted
+  per interpreter run (PYTHONHASHSEED), so it cannot be used;
+* **stable under repartitioning** -- when the ratio moves from 0.48 to 0.50
+  only the keys hashing into ``[0.48, 0.50)`` may switch queues;
+* **independent per salt** -- different queues must not partition the key
+  space identically, otherwise correlated keys always co-locate.
+
+We use a splitmix64-style finalizer, which is fast, has excellent avalanche
+behaviour, and needs no external dependencies.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    """One round of the splitmix64 finalizer (public-domain constants)."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def stable_hash_u64(key: object, salt: int = 0) -> int:
+    """Hash ``key`` to a uniform 64-bit integer, deterministically.
+
+    ``key`` may be a string, bytes or int; other types are hashed through
+    their ``repr``, which is stable for the key types used in traces.
+    """
+    if isinstance(key, int):
+        seed = key & _MASK64
+    else:
+        if isinstance(key, str):
+            data = key.encode("utf-8")
+        elif isinstance(key, bytes):
+            data = key
+        else:
+            data = repr(key).encode("utf-8")
+        # FNV-1a over the bytes gives a well-mixed 64-bit seed cheaply.
+        seed = 0xCBF29CE484222325
+        for byte in data:
+            seed = ((seed ^ byte) * 0x100000001B3) & _MASK64
+    return _splitmix64(seed ^ _splitmix64(salt & _MASK64))
+
+
+def unit_interval_hash(key: object, salt: int = 0) -> float:
+    """Hash ``key`` to a float uniform in ``[0, 1)``.
+
+    Used to split a request stream between two partitions: a key goes left
+    iff ``unit_interval_hash(key, salt) < left_fraction``. Because the hash
+    is a fixed function of the key, moving the threshold moves only the
+    keys whose hash lies between the old and new thresholds.
+    """
+    return stable_hash_u64(key, salt) / float(1 << 64)

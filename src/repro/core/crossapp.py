@@ -1,0 +1,125 @@
+"""Hill climbing across applications (paper sections 1, 3.3, 4.1).
+
+"Cliffhanger runs across multiple eviction queues ... it can be the queue
+of a slab or a queue of an entire application." This module applies
+Algorithm 1 at application granularity on a shared server: every app gets
+an *app-level* shadow monitor -- a byte-weighted LRU simulation of the
+app's whole reservation with a shadow extension appended -- and a shadow
+hit moves reservation bytes from a random other app to the winner via the
+engines' ``grow_budget``/``shrink_budget`` hooks.
+
+The monitor is a simulation rather than an instrumented queue because an
+application's engine may split its memory across many slab queues; the
+question "would this app have hit with a little more total memory?" is a
+question about the app's *global* LRU behaviour, which the monitor chain
+answers directly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.common.constants import (
+    DEFAULT_CREDIT_BYTES,
+    HILL_CLIMB_SHADOW_BYTES,
+    MIN_QUEUE_BYTES,
+)
+from repro.cache.keyqueue import KeyQueue, QueueChain
+from repro.cache.server import CacheServer
+from repro.cache.stats import AccessOutcome
+from repro.core.hill_climbing import HillClimber
+from repro.workloads.trace import Request
+
+
+class _AppMonitor:
+    """Byte-weighted LRU model of one app: [reservation | shadow]."""
+
+    def __init__(self, name: str, budget: float, shadow_bytes: float) -> None:
+        self.main = KeyQueue(budget, name=f"{name}/sim")
+        self.shadow = KeyQueue(shadow_bytes, name=f"{name}/sim-shadow")
+        self.chain = QueueChain([self.main, self.shadow], physical_segments=1)
+
+    def observe(self, request: Request) -> bool:
+        """Feed one request; True iff it landed in the shadow region."""
+        weight = float(request.key_size + request.value_size)
+        segment = self.chain.access(request.key)
+        if segment is None:
+            self.chain.insert(request.key, weight)
+            return False
+        return segment == 1
+
+    def resize(self, budget: float) -> None:
+        self.chain.resize_segment(0, budget)
+
+
+class CrossAppHillClimber:
+    """Algorithm 1 over the applications of one :class:`CacheServer`.
+
+    Attach with :meth:`attach`; afterwards every request the server
+    processes also feeds the per-app monitors, and app reservations drift
+    toward the configuration that equalizes the apps' byte-gradient of
+    hit rate -- the cross-application variant of Eq. 1 that Table 3
+    solves statically.
+    """
+
+    def __init__(
+        self,
+        server: CacheServer,
+        credit_bytes: float = DEFAULT_CREDIT_BYTES,
+        shadow_bytes: float = HILL_CLIMB_SHADOW_BYTES,
+        min_bytes: float = MIN_QUEUE_BYTES,
+        seed: int = 0,
+    ) -> None:
+        self.server = server
+        self.shadow_bytes = shadow_bytes
+        self.monitors: Dict[str, _AppMonitor] = {}
+        self.climber = HillClimber(
+            credit_bytes=credit_bytes,
+            min_bytes=min_bytes,
+            rng=random.Random(seed),
+        )
+        for app, engine in server.engines.items():
+            self.monitors[app] = _AppMonitor(
+                app, engine.budget_bytes, shadow_bytes
+            )
+            self.climber.register(
+                app,
+                get_capacity=lambda e=engine: e.budget_bytes,
+                set_capacity=lambda cap, a=app: self._apply_budget(a, cap),
+            )
+
+    # ------------------------------------------------------------------
+
+    def _apply_budget(self, app: str, budget: float) -> None:
+        engine = self.server.engines[app]
+        delta = budget - engine.budget_bytes
+        if delta >= 0:
+            engine.grow_budget(delta)
+        else:
+            engine.shrink_budget(-delta)
+        self.monitors[app].resize(budget)
+
+    def observe(self, request: Request, outcome: AccessOutcome) -> None:
+        """Server observer hook: feed the monitor; climb on shadow hits.
+
+        Only GETs that *missed physically* can be shadow hits -- a request
+        the app served from real memory is no evidence it needs more.
+        """
+        monitor = self.monitors.get(request.app)
+        if monitor is None:
+            return
+        landed_in_shadow = monitor.observe(request)
+        if landed_in_shadow and request.op == "get" and not outcome.hit:
+            self.climber.on_shadow_hit(request.app)
+
+    def attach(self) -> "CrossAppHillClimber":
+        """Register as a server observer; returns self for chaining."""
+        self.server.add_observer(self.observe)
+        return self
+
+    def budgets(self) -> Dict[str, float]:
+        return {
+            app: engine.budget_bytes
+            for app, engine in self.server.engines.items()
+        }

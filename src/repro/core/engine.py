@@ -1,0 +1,378 @@
+"""Cliffhanger engines.
+
+Two engines plug the core algorithms into the multi-tenant server:
+
+* :class:`HillClimbEngine` -- Algorithm 1 only: each slab class is a
+  :class:`~repro.core.managed.ShadowedQueue` (any eviction policy) and a
+  shared :class:`~repro.core.hill_climbing.HillClimber` moves capacity on
+  shadow hits. This is the "Hill Climbing" column of Table 4.
+* :class:`CliffhangerEngine` -- the full combined system (section 4.3):
+  each slab class is a partitioned
+  :class:`~repro.core.cliff_scaling.CliffhangerQueue`; hill climbing runs
+  across the classes through the queues' hill shadows, while cliff scaling
+  runs inside each queue. The two algorithms can be toggled independently
+  for the Table 4 ablation.
+
+Both engines bootstrap like stock Memcached -- classes grab chunks from
+the free reservation on demand -- so the adaptive algorithms start from
+the first-come-first-serve allocation and *improve* it, exactly the
+deployment story the paper tells (Figure 8 shows memory drifting away from
+that initial allocation over days).
+
+Unlike :class:`repro.cache.engines.SlabEngineBase`, these engines do not
+track a key-to-class map: synthetic traces give every key a deterministic
+size, so the slab class is a pure function of the request. A key re-SET
+into a different class leaves its stale twin to age out of the old class
+naturally (the standard trace-replay simplification).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.common.constants import (
+    DEFAULT_CREDIT_BYTES,
+    HILL_CLIMB_SHADOW_BYTES,
+    MIN_QUEUE_BYTES,
+)
+from repro.cache.engines import Engine
+from repro.cache.policies import make_policy
+from repro.cache.slabs import SlabGeometry
+from repro.cache.stats import AccessOutcome
+from repro.core.cliff_scaling import CliffConfig, CliffhangerQueue
+from repro.core.hill_climbing import HillClimber
+from repro.core.managed import ShadowedQueue
+from repro.workloads.trace import Request
+
+
+class HillClimbEngine(Engine):
+    """Algorithm 1 across slab classes, with any eviction policy."""
+
+    def __init__(
+        self,
+        app: str,
+        budget_bytes: float,
+        geometry: SlabGeometry,
+        policy: str = "lru",
+        shadow_bytes: float = HILL_CLIMB_SHADOW_BYTES,
+        credit_bytes: float = DEFAULT_CREDIT_BYTES,
+        min_bytes: float = MIN_QUEUE_BYTES,
+        seed: int = 0,
+        fill_on_miss: bool = True,
+    ) -> None:
+        super().__init__(app, budget_bytes, geometry, fill_on_miss)
+        self.policy_kind = policy
+        self.shadow_bytes = shadow_bytes
+        self.queues: Dict[int, ShadowedQueue] = {}
+        self.climber = HillClimber(
+            credit_bytes=credit_bytes,
+            min_bytes=min_bytes,
+            rng=random.Random(seed),
+        )
+        self._free_pool = float(budget_bytes)
+
+    # ------------------------------------------------------------------
+
+    def _queue(self, class_index: int) -> ShadowedQueue:
+        queue = self.queues.get(class_index)
+        if queue is None:
+            queue = ShadowedQueue(
+                make_policy(
+                    self.policy_kind,
+                    0.0,
+                    name=f"{self.app}/slab{class_index}",
+                ),
+                shadow_bytes=self.shadow_bytes,
+                name=f"{self.app}/slab{class_index}",
+            )
+            self.queues[class_index] = queue
+            self.climber.register(
+                class_index,
+                get_capacity=lambda q=queue: q.capacity_bytes,
+                set_capacity=lambda cap, q=queue: q.set_capacity(cap),
+            )
+        return queue
+
+    def capacities(self) -> Dict[int, float]:
+        return {
+            idx: queue.capacity_bytes
+            for idx, queue in sorted(self.queues.items())
+        }
+
+    def used_bytes(self) -> float:
+        return sum(queue.used_bytes for queue in self.queues.values())
+
+    def shadow_overhead_bytes(self) -> float:
+        return sum(queue.overhead_bytes() for queue in self.queues.values())
+
+    # ------------------------------------------------------------------
+
+    def _fill(self, queue: ShadowedQueue, key: str, chunk: int) -> int:
+        """Insert an item, drawing startup capacity from the free pool.
+
+        Growth is two chunks at a time: segmented policies (SLRU,
+        Facebook, 2Q) split their capacity internally, so a single spare
+        chunk may not fit one item in any segment.
+        """
+        growth = 2 * chunk
+        if (
+            queue.used_bytes + growth > queue.capacity_bytes
+            and self._free_pool >= growth
+        ):
+            queue.set_capacity(queue.capacity_bytes + growth)
+            self._free_pool -= growth
+        # Storing must clear any shadow entry for the key (real
+        # implementations look the key up in the shadow hash).
+        self.ops.shadow_lookups += 1
+        physical_before = len(queue)
+        added = 0 if key in queue.policy else 1  # re-SETs add nothing
+        for _ in queue.insert(key, chunk):
+            pass  # keys dropped off the shadow tail: fully forgotten
+        self.ops.inserts += 1
+        evicted = max(0, physical_before + added - len(queue))
+        self.ops.evictions += evicted
+        self.ops.shadow_inserts += evicted  # evictions land in the shadow
+        return evicted
+
+    def process(self, request: Request) -> AccessOutcome:
+        class_index, chunk = self._chunk_and_class(request)
+        queue = self._queue(class_index)
+        if request.op == "delete":
+            self.ops.hash_lookups += 1
+            present = queue.remove(request.key)
+            return AccessOutcome(
+                hit=present,
+                app=self.app,
+                op="delete",
+                slab_class=class_index,
+            )
+        if request.op == "set":
+            evicted = self._fill(queue, request.key, chunk)
+            return AccessOutcome(
+                hit=False,
+                app=self.app,
+                op="set",
+                slab_class=class_index,
+                evicted=evicted,
+            )
+        self.ops.hash_lookups += 1
+        result = queue.access(request.key)
+        if result == ShadowedQueue.HIT:
+            self.ops.promotes += 1
+            return AccessOutcome(
+                hit=True, app=self.app, op="get", slab_class=class_index
+            )
+        self.ops.shadow_lookups += 1
+        shadow_hit = result == ShadowedQueue.SHADOW_HIT
+        if shadow_hit:
+            self.climber.on_shadow_hit(class_index)
+        evicted = (
+            self._fill(queue, request.key, chunk)
+            if self.fill_on_miss
+            else 0
+        )
+        return AccessOutcome(
+            hit=False,
+            app=self.app,
+            op="get",
+            slab_class=class_index,
+            shadow_hit=shadow_hit,
+            evicted=evicted,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _enforce_budget(self) -> int:
+        reserved = self._free_pool + sum(
+            queue.capacity_bytes for queue in self.queues.values()
+        )
+        excess = reserved - self.budget_bytes
+        if excess <= 0:
+            return 0
+        taken_from_pool = min(self._free_pool, excess)
+        self._free_pool -= taken_from_pool
+        excess -= taken_from_pool
+        evicted = 0
+        total_capacity = sum(
+            queue.capacity_bytes for queue in self.queues.values()
+        )
+        if excess > 0 and total_capacity > 0:
+            scale = max(0.0, 1.0 - excess / total_capacity)
+            for queue in self.queues.values():
+                evicted += queue.set_capacity(queue.capacity_bytes * scale)
+        return evicted
+
+    def grow_budget(self, delta_bytes: float) -> None:
+        super().grow_budget(delta_bytes)
+        self._free_pool += delta_bytes
+
+
+class CliffhangerEngine(Engine):
+    """The combined system: hill climbing + cliff scaling (section 4.3)."""
+
+    def __init__(
+        self,
+        app: str,
+        budget_bytes: float,
+        geometry: SlabGeometry,
+        enable_hill_climbing: bool = True,
+        enable_cliff_scaling: bool = True,
+        hill_shadow_bytes: float = HILL_CLIMB_SHADOW_BYTES,
+        credit_bytes: float = DEFAULT_CREDIT_BYTES,
+        min_bytes: float = MIN_QUEUE_BYTES,
+        seed: int = 0,
+        resize_on_miss: bool = True,
+        probe_items: int = None,
+        min_cliff_items: int = None,
+        fill_on_miss: bool = True,
+    ) -> None:
+        super().__init__(app, budget_bytes, geometry, fill_on_miss)
+        self.enable_hill_climbing = enable_hill_climbing
+        self.enable_cliff_scaling = enable_cliff_scaling
+        self.hill_shadow_bytes = hill_shadow_bytes
+        self.credit_bytes = credit_bytes
+        self.resize_on_miss = resize_on_miss
+        # Scaled-down experiments shrink the probe/gate constants along
+        # with their queues; None keeps the paper defaults.
+        self.probe_items = probe_items
+        self.min_cliff_items = min_cliff_items
+        self.queues: Dict[int, CliffhangerQueue] = {}
+        self.climber = HillClimber(
+            credit_bytes=credit_bytes,
+            min_bytes=min_bytes,
+            rng=random.Random(seed),
+        )
+        self._free_pool = float(budget_bytes)
+
+    # ------------------------------------------------------------------
+
+    def _queue(self, class_index: int) -> CliffhangerQueue:
+        queue = self.queues.get(class_index)
+        if queue is None:
+            overrides = {}
+            if self.probe_items is not None:
+                overrides["probe_items"] = self.probe_items
+            if self.min_cliff_items is not None:
+                overrides["min_queue_items_for_cliff"] = self.min_cliff_items
+            config = CliffConfig(
+                chunk_size=self.geometry.chunk_size(class_index),
+                hill_shadow_bytes=self.hill_shadow_bytes,
+                credit_bytes=self.credit_bytes,
+                salt=class_index + 1,
+                resize_on_miss=self.resize_on_miss,
+                **overrides,
+            )
+            queue = CliffhangerQueue(
+                name=f"{self.app}/slab{class_index}",
+                capacity_bytes=0.0,
+                config=config,
+                enable_cliff_scaling=self.enable_cliff_scaling,
+            )
+            self.queues[class_index] = queue
+            self.climber.register(
+                class_index,
+                get_capacity=lambda q=queue: q.capacity_bytes,
+                set_capacity=lambda cap, q=queue: q.set_capacity(cap),
+            )
+        return queue
+
+    def capacities(self) -> Dict[int, float]:
+        return {
+            idx: queue.capacity_bytes
+            for idx, queue in sorted(self.queues.items())
+        }
+
+    def used_bytes(self) -> float:
+        return sum(queue.used_bytes for queue in self.queues.values())
+
+    # ------------------------------------------------------------------
+
+    def _fill(self, queue: CliffhangerQueue, key: str, chunk: int) -> int:
+        # The queue is split into two partitions, so capacity must grow in
+        # two-chunk steps: a single spare chunk split across two halves
+        # cannot hold any item.
+        growth = 2 * chunk
+        if (
+            queue.used_bytes + growth > queue.capacity_bytes
+            and self._free_pool >= growth
+        ):
+            queue.set_capacity(queue.capacity_bytes + growth)
+            self._free_pool -= growth
+        self.ops.shadow_lookups += 1  # store clears shadow entries
+        evicted = queue.insert(key)
+        self.ops.inserts += 1
+        self.ops.evictions += evicted
+        self.ops.shadow_inserts += evicted
+        return evicted
+
+    def process(self, request: Request) -> AccessOutcome:
+        class_index, chunk = self._chunk_and_class(request)
+        queue = self._queue(class_index)
+        self.ops.routes += 1  # left/right partition routing
+        if request.op == "delete":
+            self.ops.hash_lookups += 1
+            present = queue.remove(request.key)
+            return AccessOutcome(
+                hit=present,
+                app=self.app,
+                op="delete",
+                slab_class=class_index,
+            )
+        if request.op == "set":
+            evicted = self._fill(queue, request.key, chunk)
+            return AccessOutcome(
+                hit=False,
+                app=self.app,
+                op="set",
+                slab_class=class_index,
+                evicted=evicted,
+            )
+        self.ops.hash_lookups += 1
+        result = queue.access(request.key)
+        if result.hit:
+            self.ops.promotes += 1
+            return AccessOutcome(
+                hit=True, app=self.app, op="get", slab_class=class_index
+            )
+        self.ops.shadow_lookups += 1
+        if result.hill_hit and self.enable_hill_climbing:
+            self.climber.on_shadow_hit(class_index)
+        evicted = (
+            self._fill(queue, request.key, chunk)
+            if self.fill_on_miss
+            else 0
+        )
+        return AccessOutcome(
+            hit=False,
+            app=self.app,
+            op="get",
+            slab_class=class_index,
+            shadow_hit=result.hill_hit,
+            evicted=evicted,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _enforce_budget(self) -> int:
+        reserved = self._free_pool + sum(
+            queue.capacity_bytes for queue in self.queues.values()
+        )
+        excess = reserved - self.budget_bytes
+        if excess <= 0:
+            return 0
+        taken_from_pool = min(self._free_pool, excess)
+        self._free_pool -= taken_from_pool
+        excess -= taken_from_pool
+        total_capacity = sum(
+            queue.capacity_bytes for queue in self.queues.values()
+        )
+        if excess > 0 and total_capacity > 0:
+            scale = max(0.0, 1.0 - excess / total_capacity)
+            for queue in self.queues.values():
+                queue.set_capacity(queue.capacity_bytes * scale)
+        return 0
+
+    def grow_budget(self, delta_bytes: float) -> None:
+        super().grow_budget(delta_bytes)
+        self._free_pool += delta_bytes

@@ -1,0 +1,128 @@
+"""Algorithm 1: shadow-queue hill climbing.
+
+::
+
+    if request in shadowQueue(i):
+        queue(i).size += credit
+        chosenQueue = pickRandom(queues - {queue(i)})
+        chosenQueue.size -= credit
+
+The frequency of shadow hits for queue *i* is proportional to
+``f_i * h'_i(m_i)`` (the request rate times the local hit-rate gradient),
+and removing credit from a uniformly random other queue removes, in
+expectation, the *average* gradient. In equilibrium every queue's
+normalized gradient equals that average -- the Lagrangian optimality
+condition of Equation 1 (paper section 4.1). The integration test
+``tests/core/test_hill_climbing.py::test_equilibrium_equalizes_gradients``
+verifies this on synthetic concave curves.
+
+The :class:`HillClimber` here is deliberately decoupled from any cache
+structure: it moves *capacity* between abstract resize targets, so the
+same object drives slab classes within an application
+(:class:`repro.core.engine.HillClimbEngine`), partitioned Cliffhanger
+queues (:class:`repro.core.engine.CliffhangerEngine`) and whole
+applications (:class:`repro.core.crossapp.CrossAppHillClimber`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Hashable, List, Optional
+
+from repro.common.constants import DEFAULT_CREDIT_BYTES, MIN_QUEUE_BYTES
+from repro.common.errors import ConfigurationError
+
+QueueId = Hashable
+
+#: A resize target: read current capacity / apply a new capacity.
+GetCapacity = Callable[[], float]
+SetCapacity = Callable[[float], None]
+
+
+class _Target:
+    __slots__ = ("get_capacity", "set_capacity")
+
+    def __init__(self, get_capacity: GetCapacity, set_capacity: SetCapacity):
+        self.get_capacity = get_capacity
+        self.set_capacity = set_capacity
+
+
+class HillClimber:
+    """Moves capacity between registered queues on shadow hits.
+
+    Args:
+        credit_bytes: Capacity moved per shadow hit (paper: 1-4 KB works
+            best; larger credits oscillate, section 5.3).
+        min_bytes: Floor below which a queue is never shrunk, so a starved
+            queue's shadow can still observe returning demand.
+        rng: Random source for victim selection. Uniform selection over
+            the *other* queues is load-bearing: it is what makes credit
+            removal proportional to the average gradient (section 4.1).
+    """
+
+    def __init__(
+        self,
+        credit_bytes: float = DEFAULT_CREDIT_BYTES,
+        min_bytes: float = MIN_QUEUE_BYTES,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if credit_bytes <= 0:
+            raise ConfigurationError(
+                f"credit must be positive, got {credit_bytes}"
+            )
+        if min_bytes < 0:
+            raise ConfigurationError(f"min_bytes must be >= 0: {min_bytes}")
+        self.credit_bytes = float(credit_bytes)
+        self.min_bytes = float(min_bytes)
+        self.rng = rng or random.Random(0)
+        self._targets: Dict[QueueId, _Target] = {}
+        self.transfers = 0
+
+    # ------------------------------------------------------------------
+
+    def register(
+        self,
+        queue_id: QueueId,
+        get_capacity: GetCapacity,
+        set_capacity: SetCapacity,
+    ) -> None:
+        """Add a queue to the optimization set."""
+        if queue_id in self._targets:
+            raise ConfigurationError(f"queue {queue_id!r} already registered")
+        self._targets[queue_id] = _Target(get_capacity, set_capacity)
+
+    def unregister(self, queue_id: QueueId) -> None:
+        self._targets.pop(queue_id, None)
+
+    @property
+    def queue_ids(self) -> List[QueueId]:
+        return list(self._targets)
+
+    # ------------------------------------------------------------------
+
+    def on_shadow_hit(self, queue_id: QueueId) -> Optional[QueueId]:
+        """Algorithm 1, lines 1-5: grow ``queue_id``, shrink a random
+        other queue. Returns the victim's id, or None when no queue could
+        donate (all others at the floor, or the winner is alone).
+        """
+        winner = self._targets.get(queue_id)
+        if winner is None:
+            raise ConfigurationError(f"unknown queue {queue_id!r}")
+        donors = [
+            other_id
+            for other_id, target in self._targets.items()
+            if other_id != queue_id
+            and target.get_capacity() > self.min_bytes
+        ]
+        if not donors:
+            return None
+        victim_id = donors[self.rng.randrange(len(donors))]
+        victim = self._targets[victim_id]
+        victim_capacity = victim.get_capacity()
+        delta = min(self.credit_bytes, victim_capacity - self.min_bytes)
+        if delta <= 0:
+            return None
+        victim.set_capacity(victim_capacity - delta)
+        winner.set_capacity(winner.get_capacity() + delta)
+        self.transfers += 1
+        return victim_id

@@ -1,0 +1,120 @@
+"""A policy queue with a shadow extension.
+
+"A shadow queue is an extension of an eviction queue that does not store
+the values of the items, only the keys. Items are evicted from the eviction
+queue into the shadow queue." (paper section 3.4). The rate of hits in the
+shadow queue approximates the hit-rate-curve gradient at the queue's
+current size, which is all Algorithm 1 needs.
+
+Shadow capacity is measured in the bytes the shadowed items *represent*
+("shadow queues that represent 1 MB of requests", section 5.7); the actual
+memory overhead is only the keys, which :meth:`ShadowedQueue.overhead_bytes`
+accounts for separately.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.common.constants import AVG_KEY_BYTES, HILL_CLIMB_SHADOW_BYTES
+from repro.cache.keyqueue import KeyQueue
+from repro.cache.policies.base import EvictionPolicy
+
+
+class ShadowedQueue:
+    """An eviction policy with a key-only LRU shadow appended after it.
+
+    Works with *any* :class:`EvictionPolicy` (section 4.3: Cliffhanger
+    "can support any eviction policy, including LRU, LFU and other hybrid
+    schemes") because the shadow only consumes the policy's eviction
+    stream.
+    """
+
+    #: access() results.
+    HIT = "hit"
+    SHADOW_HIT = "shadow"
+    MISS = None
+
+    def __init__(
+        self,
+        policy: EvictionPolicy,
+        shadow_bytes: float = HILL_CLIMB_SHADOW_BYTES,
+        name: str = "",
+        avg_key_bytes: int = AVG_KEY_BYTES,
+    ) -> None:
+        self.policy = policy
+        self.shadow = KeyQueue(shadow_bytes, name=f"{name}/shadow")
+        self.name = name
+        self.avg_key_bytes = avg_key_bytes
+        self.shadow_hits = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> float:
+        return self.policy.capacity
+
+    @property
+    def used_bytes(self) -> float:
+        return self.policy.used
+
+    def __len__(self) -> int:
+        return len(self.policy)
+
+    def overhead_bytes(self) -> float:
+        """Extra memory the shadow queue costs (keys only)."""
+        return len(self.shadow) * self.avg_key_bytes
+
+    # ------------------------------------------------------------------
+
+    def access(self, key: object) -> Optional[str]:
+        """GET path: ``HIT`` (physical), ``SHADOW_HIT`` or ``MISS``.
+
+        A shadow hit removes the key from the shadow (the caller fills the
+        item back into the physical queue, as a real cache-fill would).
+        """
+        if self.policy.access(key):
+            return self.HIT
+        if key in self.shadow:
+            self.shadow.remove(key)
+            self.shadow_hits += 1
+            return self.SHADOW_HIT
+        return self.MISS
+
+    def insert(self, key: object, weight: float) -> List[Tuple[object, float]]:
+        """Store an item; physical evictions flow into the shadow.
+
+        Returns the keys dropped off the *end of the shadow* (fully
+        forgotten), which is what a byte-accounting caller needs.
+        """
+        if key in self.shadow:
+            # The key is being refreshed while remembered only by the
+            # shadow; it must not appear in both structures.
+            self.shadow.remove(key)
+        for victim, victim_weight in self.policy.insert(key, weight):
+            self.shadow.push_front(victim, victim_weight)
+        return list(self.shadow.overflow())
+
+    def remove(self, key: object) -> bool:
+        removed = self.policy.remove(key)
+        if key in self.shadow:
+            self.shadow.remove(key)
+            removed = True
+        return removed
+
+    def set_capacity(self, capacity_bytes: float) -> int:
+        """Resize the physical queue; shrink evictions enter the shadow.
+
+        Returns the number of items evicted from physical memory.
+        """
+        evicted = self.policy.resize(capacity_bytes)
+        for victim, victim_weight in evicted:
+            self.shadow.push_front(victim, victim_weight)
+        for _ in self.shadow.overflow():
+            pass
+        return len(evicted)
+
+    def set_shadow_capacity(self, shadow_bytes: float) -> None:
+        self.shadow.resize(shadow_bytes)
+        for _ in self.shadow.overflow():
+            pass

@@ -1,0 +1,21 @@
+"""Experiment runners: one per table and figure of the paper.
+
+Every runner module exposes ``run(scale=..., seed=0, **kwargs) ->
+ExperimentResult``; :data:`REGISTRY` maps experiment ids to runners, and
+``python -m repro.experiments <id> [--scale S]`` executes them from the
+command line. The ``benchmarks/`` tree wraps the same runners in
+pytest-benchmark fixtures at reduced scale.
+
+See DESIGN.md section 4 for the experiment index and EXPERIMENTS.md for
+recorded paper-vs-measured results.
+"""
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import REGISTRY, get_runner, list_experiments
+
+__all__ = [
+    "ExperimentResult",
+    "REGISTRY",
+    "get_runner",
+    "list_experiments",
+]

@@ -1,0 +1,64 @@
+"""Command-line entry point for the experiment suite.
+
+Usage::
+
+    python -m repro.experiments fig6 --scale 0.1
+    python -m repro.experiments all --scale 0.05 --out results/
+    cliffhanger-experiments tab4
+
+Results are printed as plain-text tables and, with ``--out``, also saved
+as JSON for EXPERIMENTS.md bookkeeping.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments.registry import REGISTRY, get_runner, list_experiments
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="cliffhanger-experiments",
+        description="Reproduce the Cliffhanger paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help=f"experiment id or 'all'; known: {', '.join(list_experiments())}",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="trace scale (default: each experiment's full-run default)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out", type=Path, default=None, help="directory for JSON results"
+    )
+    args = parser.parse_args(argv)
+
+    ids = list_experiments() if args.experiment == "all" else [args.experiment]
+    for experiment_id in ids:
+        runner = get_runner(experiment_id)
+        kwargs = {"seed": args.seed}
+        if args.scale is not None:
+            kwargs["scale"] = args.scale
+        started = time.perf_counter()
+        result = runner(**kwargs)
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"[{experiment_id} finished in {elapsed:.1f}s]")
+        print()
+        if args.out is not None:
+            path = result.save(args.out)
+            print(f"saved {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Figure 3: a performance cliff (Application 11, slab class 6).
+
+Profiles the cliff application's scanned slab class and reports the
+sampled hit-rate curve together with the detected cliff regions -- the
+convex intervals where the curve sits below its concave hull.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentResult,
+    FULL_SCALE,
+    profile_app_classes,
+)
+from repro.workloads.memcachier import build_memcachier_trace
+
+APP = "app11"
+SLAB_CLASS = 6
+SAMPLES = 24
+
+
+def run(scale: float = FULL_SCALE, seed: int = 0) -> ExperimentResult:
+    trace = build_memcachier_trace(scale=scale, seed=seed, apps=[11])
+    curves, frequencies = profile_app_classes(trace.app_requests(APP))
+    class_index = SLAB_CLASS if SLAB_CLASS in curves else max(curves)
+    curve = curves[class_index]
+    sampled = curve.resample(SAMPLES + 1)
+    result = ExperimentResult(
+        experiment_id="fig3",
+        title=f"Performance cliff, {APP} slab class {class_index}",
+        headers=["queue_items", "hit_rate", "concave_hull"],
+        paper_reference="Figure 3",
+    )
+    hull = curve.concave_hull()
+    for size, rate in zip(sampled.sizes, sampled.hit_rates):
+        result.rows.append([int(size), float(rate), hull.hit_rate(size)])
+    cliffs = curve.cliffs(tolerance=0.02)
+    result.notes = (
+        f"GETs profiled: {frequencies[class_index]}; detected cliff "
+        f"regions (items): "
+        + (
+            ", ".join(f"[{int(a)}, {int(b)}]" for a, b in cliffs)
+            if cliffs
+            else "NONE (unexpected)"
+        )
+    )
+    return result

@@ -1,0 +1,65 @@
+"""Section 5.3 ablation: credit size and shadow-queue size sensitivity.
+
+Sweeps the two constants the storage designer must pick -- the credit
+granted per shadow hit and the hill-climbing shadow-queue length -- on a
+cliff application, plus the resize-on-miss anti-thrashing choice.
+Paper findings being checked:
+
+* 1-4 KB credits give the highest hit rates; much larger credits cause
+  allocation oscillation;
+* shadow queues of ~1 MB suffice ("little variance ... over 1 MB").
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentResult,
+    FULL_SCALE,
+    replay_apps,
+)
+from repro.workloads.memcachier import build_memcachier_trace
+
+APP_INDEX = 19
+CREDITS = (1024, 4096, 16384, 131072)
+SHADOWS = (256 << 10, 1 << 20, 4 << 20)
+
+
+def run(scale: float = FULL_SCALE, seed: int = 0) -> ExperimentResult:
+    trace = build_memcachier_trace(scale=scale, seed=seed, apps=[APP_INDEX])
+    app = trace.app_names[0]
+    result = ExperimentResult(
+        experiment_id="sensitivity",
+        title="Credit / shadow-queue sensitivity (Cliffhanger, app19)",
+        headers=[
+            "credit_bytes",
+            "shadow_bytes",
+            "resize_on_miss",
+            "hit_rate",
+        ],
+        paper_reference="Section 5.3",
+    )
+    for credit in CREDITS:
+        for shadow in SHADOWS:
+            _, stats = replay_apps(
+                trace,
+                "cliffhanger",
+                seed=seed,
+                credit_bytes=float(credit),
+                hill_shadow_bytes=float(shadow),
+            )
+            result.rows.append(
+                [credit, shadow, True, stats.app_hit_rate(app)]
+            )
+    # Resize-on-miss ablation at the paper's default constants.
+    for resize_on_miss in (True, False):
+        _, stats = replay_apps(
+            trace, "cliffhanger", seed=seed, resize_on_miss=resize_on_miss
+        )
+        result.rows.append(
+            [4096, 1 << 20, resize_on_miss, stats.app_hit_rate(app)]
+        )
+    result.notes = (
+        "expected: small credits (1-4KB) at or near the best hit rate; "
+        "very large credits degrade; shadow size beyond 1MB changes little"
+    )
+    return result

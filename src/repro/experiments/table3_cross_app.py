@@ -1,0 +1,97 @@
+"""Table 3: cross-application memory optimization (top-5 apps).
+
+The Dynacache solver applied *across* applications sharing a server:
+profile each app's byte-granularity hit-rate curve (byte-weighted stack
+distances over its whole request stream), solve Eq. 1 over apps with the
+combined reservation as the budget, re-run with the re-balanced
+reservations. Paper shape: the over-provisioned giant (application 1)
+donates memory to the starved application 2, whose hit rate jumps
+(27.5% -> 38.6%) while the donor barely moves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.allocation.dynacache import DynacacheSolver
+from repro.experiments.common import (
+    ExperimentResult,
+    FULL_SCALE,
+    replay_apps,
+)
+from repro.profiling.hrc import HitRateCurve
+from repro.profiling.stack_distance import StackDistanceProfiler
+from repro.workloads.memcachier import build_memcachier_trace
+
+APPS = (1, 2, 3, 4, 5)
+
+
+def _app_byte_curves(trace) -> Dict[str, HitRateCurve]:
+    """Byte-weighted stack-distance curve per application."""
+    curves = {}
+    for app in trace.app_names:
+        profiler = StackDistanceProfiler()
+        gets = 0
+        for request in trace.app_requests(app):
+            if request.op != "get":
+                continue
+            gets += 1
+            profiler.record(
+                request.key,
+                weight=float(request.key_size + request.value_size),
+            )
+        if gets >= 2:
+            curves[app] = HitRateCurve.from_stack_distances(
+                profiler.distances, unit="bytes"
+            )
+    return curves
+
+
+def run(scale: float = FULL_SCALE, seed: int = 0) -> ExperimentResult:
+    trace = build_memcachier_trace(scale=scale, seed=seed, apps=list(APPS))
+    names = trace.app_names
+    total_memory = sum(trace.reservations[app] for app in names)
+
+    _, original_stats = replay_apps(trace, "default")
+    curves = _app_byte_curves(trace)
+    frequencies = {
+        app: sum(
+            1 for r in trace.app_requests(app) if r.op == "get"
+        )
+        for app in names
+    }
+    solver = DynacacheSolver(granularity=max(4096.0, total_memory / 512))
+    plan = solver.allocate(curves, frequencies, total_memory)
+    new_budgets = {
+        app: max(64 * 1024, plan.allocations.get(app, 0.0))
+        for app in names
+    }
+    _, solved_stats = replay_apps(trace, "default", budgets=new_budgets)
+
+    result = ExperimentResult(
+        experiment_id="tab3",
+        title="Cross-application optimization (top 5 apps)",
+        headers=[
+            "app",
+            "orig_mem_pct",
+            "solver_mem_pct",
+            "orig_hit_rate",
+            "solver_hit_rate",
+        ],
+        paper_reference="Table 3",
+    )
+    for app in names:
+        result.rows.append(
+            [
+                app,
+                trace.reservations[app] / total_memory * 100.0,
+                new_budgets[app] / total_memory * 100.0,
+                original_stats.app_hit_rate(app),
+                solved_stats.app_hit_rate(app),
+            ]
+        )
+    result.notes = (
+        "expected shape: memory flows from over-provisioned to starved "
+        "applications; the starved app's hit rate rises sharply"
+    )
+    return result

@@ -1,0 +1,57 @@
+"""Table 5 (and the ARC comparison of section 5.5): eviction schemes.
+
+Applications 3-5 under: plain LRU (original), Facebook's mid-insertion
+scheme, ARC, Cliffhanger on LRU, and hill climbing on the Facebook
+policy ("Cliffhanger + Facebook" -- cliff scaling assumes LRU rank
+semantics, so the combination uses the hill-climbing half, which is the
+part that composes with arbitrary eviction policies; see DESIGN.md).
+
+Paper shape: Facebook > LRU >= ARC (ARC shows no improvement on these
+traces), and Cliffhanger beats both plain schemes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentResult,
+    FULL_SCALE,
+    replay_apps,
+)
+from repro.workloads.memcachier import build_memcachier_trace
+
+APPS = (3, 4, 5)
+
+
+def run(scale: float = FULL_SCALE, seed: int = 0) -> ExperimentResult:
+    trace = build_memcachier_trace(scale=scale, seed=seed, apps=list(APPS))
+    names = trace.app_names
+    columns = [
+        ("lru", "default", {}),
+        ("facebook", "default", {"policy": "facebook"}),
+        ("arc", "default", {"policy": "arc"}),
+        ("cliffhanger+lru", "cliffhanger", {}),
+        ("cliffhanger+facebook", "hill", {"policy": "facebook"}),
+    ]
+    stats_by_column = {}
+    for column_name, scheme, extra in columns:
+        _, stats = replay_apps(trace, scheme, seed=seed, **extra)
+        stats_by_column[column_name] = stats
+    result = ExperimentResult(
+        experiment_id="tab5",
+        title="Eviction schemes: LRU vs Facebook vs ARC vs Cliffhanger",
+        headers=["app"] + [name for name, _, _ in columns],
+        paper_reference="Table 5 + section 5.5 (ARC)",
+    )
+    for app in names:
+        result.rows.append(
+            [app]
+            + [
+                stats_by_column[name].app_hit_rate(app)
+                for name, _, _ in columns
+            ]
+        )
+    result.notes = (
+        "expected: facebook >= lru, arc ~= lru (no gain), cliffhanger "
+        "columns highest"
+    )
+    return result

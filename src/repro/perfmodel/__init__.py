@@ -1,0 +1,26 @@
+"""Latency/throughput cost model for the micro-benchmarks.
+
+The paper measures Cliffhanger's C implementation on a Xeon with mutilate
+(Tables 6-7). Without that testbed, this package substitutes a
+per-primitive cost model: engines count their primitive data-structure
+operations (:class:`repro.cache.stats.OpCounter`) and the model converts
+counts into average per-request costs, from which relative overheads --
+the quantity the paper actually reports -- are derived. The pytest
+benchmarks additionally measure real wall-clock throughput of the Python
+engines for a sanity check on the same ratios.
+"""
+
+from repro.perfmodel.costmodel import CostModel, overhead_percent
+from repro.perfmodel.microbench import (
+    MicroBenchResult,
+    measure_latency_overhead,
+    measure_throughput_slowdown,
+)
+
+__all__ = [
+    "CostModel",
+    "overhead_percent",
+    "MicroBenchResult",
+    "measure_latency_overhead",
+    "measure_throughput_slowdown",
+]

@@ -1,0 +1,93 @@
+"""Per-primitive operation costs.
+
+Costs are in abstract microseconds, loosely calibrated to a memcached
+server (hash lookup and LRU pointer splice well under a microsecond; the
+base request cost dominated by network/protocol handling). Their absolute
+values are irrelevant to the reproduction -- Tables 6 and 7 report
+*relative* overheads, which depend only on the ratio between the extra
+shadow-queue work and the base request cost, and the defaults are chosen
+so the baseline mix lands in the paper's low-single-digit-percent regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.cache.stats import OpCounter
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Microseconds charged per primitive operation.
+
+    ``base_get``/``base_set`` cover request parsing, network and protocol
+    work every request pays regardless of the allocation algorithm.
+    """
+
+    base_get: float = 8.0
+    base_set: float = 10.0
+    hash_lookup: float = 0.25
+    promote: float = 0.15
+    insert: float = 0.45
+    evict: float = 0.35
+    shadow_lookup: float = 0.25
+    shadow_insert: float = 0.30
+    shadow_evict: float = 0.25
+    route: float = 0.08
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "base_get",
+            "base_set",
+            "hash_lookup",
+            "promote",
+            "insert",
+            "evict",
+            "shadow_lookup",
+            "shadow_insert",
+            "shadow_evict",
+            "route",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ConfigurationError(f"negative cost for {field_name}")
+
+    # ------------------------------------------------------------------
+
+    def mechanism_cost(self, ops: OpCounter) -> float:
+        """Total data-structure microseconds for an operation batch."""
+        return (
+            ops.hash_lookups * self.hash_lookup
+            + ops.promotes * self.promote
+            + ops.inserts * self.insert
+            + ops.evictions * self.evict
+            + ops.shadow_lookups * self.shadow_lookup
+            + ops.shadow_inserts * self.shadow_insert
+            + ops.shadow_evictions * self.shadow_evict
+            + ops.routes * self.route
+        )
+
+    def request_cost(
+        self, ops: OpCounter, gets: int, sets: int
+    ) -> float:
+        """Average microseconds per request for a replayed workload."""
+        requests = gets + sets
+        if requests <= 0:
+            raise ConfigurationError("need at least one request")
+        base = gets * self.base_get + sets * self.base_set
+        return (base + self.mechanism_cost(ops)) / requests
+
+    def throughput(self, ops: OpCounter, gets: int, sets: int) -> float:
+        """Requests per second implied by the average request cost."""
+        return 1e6 / self.request_cost(ops, gets, sets)
+
+
+def overhead_percent(baseline_cost: float, algorithm_cost: float) -> float:
+    """Latency overhead of ``algorithm`` relative to ``baseline``, in %.
+
+    Negative results are clamped to zero: the algorithms can only add
+    work, so an apparent speedup is measurement noise.
+    """
+    if baseline_cost <= 0:
+        raise ConfigurationError("baseline cost must be positive")
+    return max(0.0, (algorithm_cost - baseline_cost) / baseline_cost * 100.0)

@@ -1,0 +1,298 @@
+"""Composable request-stream generators.
+
+Each generator produces a time-ordered iterator of
+:class:`~repro.workloads.trace.Request` for one application. The two
+primitives matter to the paper in different ways:
+
+* :class:`ZipfStream` -- skewed reuse: concave hit-rate curves, the
+  regime where plain hill climbing is provably near-optimal (section 4.1).
+* :class:`ScanStream` -- cyclic sequential scans: the canonical
+  performance-cliff generator ("Cliffs occur, for example, with
+  sequential accesses under LRU ... increasing the cache size from 9 MB
+  to 10 MB will increase the hit rate from 0% to 100%", section 3.5).
+
+:class:`MixtureStream` interleaves components with (optionally
+time-varying) weights, which is how the synthetic Memcachier applications
+mix a hot Zipf head with a scanned corpus to carve a cliff into an
+otherwise concave curve, and how the phase changes of sections 5.3-5.4
+(popularity bursts shifting between slab classes) are produced.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.sizes import SizeModel
+from repro.workloads.trace import Request
+from repro.workloads.zipf import ZipfSampler
+
+
+class RequestStream(abc.ABC):
+    """A finite, time-ordered request stream for one application."""
+
+    @abc.abstractmethod
+    def generate(
+        self, num_requests: int, duration: float, start_time: float = 0.0
+    ) -> Iterator[Request]:
+        """Yield ``num_requests`` requests spread over ``duration``
+        seconds starting at ``start_time``."""
+
+
+def _timestamps(
+    num_requests: int, duration: float, start_time: float
+) -> np.ndarray:
+    if num_requests < 0:
+        raise ConfigurationError("num_requests must be >= 0")
+    if duration <= 0:
+        raise ConfigurationError("duration must be positive")
+    step = duration / max(1, num_requests)
+    return start_time + step * np.arange(num_requests)
+
+
+@dataclass
+class ZipfStream(RequestStream):
+    """Zipf-popular GETs (with an optional SET fraction) over a fixed
+    key universe."""
+
+    app: str
+    num_keys: int
+    alpha: float
+    size_model: SizeModel
+    namespace: str = "z"
+    set_fraction: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.set_fraction <= 1.0:
+            raise ConfigurationError(
+                f"set_fraction must be in [0, 1]: {self.set_fraction}"
+            )
+
+    def generate(
+        self, num_requests: int, duration: float, start_time: float = 0.0
+    ) -> Iterator[Request]:
+        rng = np.random.default_rng(self.seed)
+        sampler = ZipfSampler(self.num_keys, self.alpha, rng=rng)
+        ranks = sampler.sample(num_requests)
+        is_set = rng.random(num_requests) < self.set_fraction
+        times = _timestamps(num_requests, duration, start_time)
+        for i in range(num_requests):
+            key = f"{self.app}:{self.namespace}:{ranks[i]}"
+            yield Request(
+                time=float(times[i]),
+                app=self.app,
+                key=key,
+                op="set" if is_set[i] else "get",
+                value_size=self.size_model.size_of(key),
+            )
+
+
+@dataclass
+class ScanStream(RequestStream):
+    """A cyclic sequential scan over ``num_keys`` keys.
+
+    Under LRU this is the adversarial pattern: with fewer than
+    ``num_keys`` cache slots the hit rate is ~0, with ``num_keys`` slots
+    it is ~1 -- a cliff exactly at the scan length.
+    """
+
+    app: str
+    num_keys: int
+    size_model: SizeModel
+    namespace: str = "s"
+    start_offset: int = 0
+    seed: int = 0  # unused; kept for interface uniformity
+
+    def generate(
+        self, num_requests: int, duration: float, start_time: float = 0.0
+    ) -> Iterator[Request]:
+        times = _timestamps(num_requests, duration, start_time)
+        position = self.start_offset % max(1, self.num_keys)
+        for i in range(num_requests):
+            key = f"{self.app}:{self.namespace}:{position}"
+            position = (position + 1) % self.num_keys
+            yield Request(
+                time=float(times[i]),
+                app=self.app,
+                key=key,
+                op="get",
+                value_size=self.size_model.size_of(key),
+            )
+
+
+@dataclass
+class ReuseDistanceStream(RequestStream):
+    """Requests with normally distributed reuse distances: a smooth cliff.
+
+    Every key is re-referenced ``refs_per_key`` times at a fixed per-key
+    interval ``D ~ N(mean_items, sigma_items)`` (in requests). Because new
+    keys are introduced whenever no re-reference is due, roughly every key
+    touched inside a window of ``D`` requests is distinct, so the *stack
+    distance* of each re-reference is ~``D`` items. The hit-rate curve is
+    therefore the Gaussian CDF scaled by ``refs_per_key/(refs_per_key+1)``:
+    flat near zero, a smooth **convex ramp** (the performance cliff)
+    centered at ``mean_items``, then a plateau -- the Figure 3 shape.
+
+    A pure cyclic scan also has a cliff, but its stack distances are a
+    delta spike, which Cliffhanger's finite probes can never observe from
+    a distance; this stream is the probe-discoverable cliff that real web
+    workloads (and the paper's traces) exhibit.
+    """
+
+    app: str
+    mean_items: int
+    sigma_items: int
+    size_model: SizeModel
+    refs_per_key: int = 9
+    namespace: str = "r"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mean_items < 2 or self.sigma_items < 1:
+            raise ConfigurationError(
+                "mean_items must be >= 2 and sigma_items >= 1"
+            )
+        if self.refs_per_key < 1:
+            raise ConfigurationError("refs_per_key must be >= 1")
+
+    def generate(
+        self, num_requests: int, duration: float, start_time: float = 0.0
+    ) -> Iterator[Request]:
+        from collections import deque
+
+        rng = np.random.default_rng(self.seed)
+        times = _timestamps(num_requests, duration, start_time)
+        # step -> list of (key_index, remaining_refs, interval); entries
+        # falling due move to `ready`, which is drained one per request
+        # (multiple keys due the same step queue up briefly -- the jitter
+        # this adds to reuse distances is << sigma).
+        due: dict = {}
+        ready: deque = deque()
+        head = 0
+
+        def schedule(step: int, entry) -> None:
+            bucket = due.get(step)
+            if bucket is None:
+                due[step] = [entry]
+            else:
+                bucket.append(entry)
+
+        for i in range(num_requests):
+            bucket = due.pop(i, None)
+            if bucket:
+                ready.extend(bucket)
+            if ready:
+                index, remaining, interval = ready.popleft()
+                if remaining > 1:
+                    schedule(i + interval, (index, remaining - 1, interval))
+            else:
+                index = head
+                head += 1
+                interval = max(
+                    2, int(rng.normal(self.mean_items, self.sigma_items))
+                )
+                schedule(i + interval, (index, self.refs_per_key, interval))
+            key = f"{self.app}:{self.namespace}:{index}"
+            yield Request(
+                time=float(times[i]),
+                app=self.app,
+                key=key,
+                op="get",
+                value_size=self.size_model.size_of(key),
+            )
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A time window (fractions of the trace) scaling a component's
+    weight; models the request bursts of sections 5.3-5.4."""
+
+    start_fraction: float
+    end_fraction: float
+    multiplier: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start_fraction < self.end_fraction <= 1.0:
+            raise ConfigurationError(
+                f"bad phase window [{self.start_fraction}, "
+                f"{self.end_fraction}]"
+            )
+        if self.multiplier < 0:
+            raise ConfigurationError("phase multiplier must be >= 0")
+
+
+@dataclass
+class Component:
+    """One weighted member of a :class:`MixtureStream`."""
+
+    stream: RequestStream
+    weight: float
+    phases: Tuple[Phase, ...] = ()
+
+    def weight_at(self, trace_fraction: float) -> float:
+        for phase in self.phases:
+            if phase.start_fraction <= trace_fraction < phase.end_fraction:
+                return self.weight * phase.multiplier
+        return self.weight
+
+
+@dataclass
+class MixtureStream(RequestStream):
+    """Interleaves component streams with (time-varying) weights.
+
+    Component sub-streams are pre-generated densely and consumed on
+    demand, so a component that only bursts briefly still walks its own
+    key sequence coherently (a scan stays sequential).
+    """
+
+    app: str
+    components: List[Component] = field(default_factory=list)
+    seed: int = 0
+
+    def generate(
+        self, num_requests: int, duration: float, start_time: float = 0.0
+    ) -> Iterator[Request]:
+        if not self.components:
+            raise ConfigurationError("mixture has no components")
+        rng = np.random.default_rng(self.seed)
+        iterators = [
+            iter(
+                component.stream.generate(
+                    num_requests, duration, start_time
+                )
+            )
+            for component in self.components
+        ]
+        times = _timestamps(num_requests, duration, start_time)
+        uniforms = rng.random(num_requests)
+        for i in range(num_requests):
+            fraction = i / max(1, num_requests - 1)
+            weights = np.array(
+                [c.weight_at(fraction) for c in self.components]
+            )
+            total = weights.sum()
+            if total <= 0:
+                weights = np.ones(len(self.components))
+                total = float(len(self.components))
+            chosen = int(np.searchsorted(
+                np.cumsum(weights / total), uniforms[i], side="left"
+            ))
+            chosen = min(chosen, len(iterators) - 1)
+            try:
+                request = next(iterators[chosen])
+            except StopIteration:  # pragma: no cover - dense pre-generation
+                continue
+            # Re-stamp with the mixture's own clock so output is ordered.
+            yield Request(
+                time=float(times[i]),
+                app=request.app,
+                key=request.key,
+                op=request.op,
+                value_size=request.value_size,
+                key_size=request.key_size,
+            )

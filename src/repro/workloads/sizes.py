@@ -1,0 +1,143 @@
+"""Deterministic per-key item-size models.
+
+Trace replay requires that a key always has the same value size (the
+simulator classifies requests into slab classes by size, and a key that
+flapped between classes would create phantom misses). Every model here
+derives the size from a stable hash of the key, so repeated requests --
+and repeated *runs* -- agree.
+
+The generalized Pareto model reproduces the value-size distribution
+measured at Facebook (Atikoglu et al., SIGMETRICS 2012), which the paper's
+micro-benchmarks use via mutilate (section 5.1/5.6).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from statistics import NormalDist
+from typing import Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.hashing import unit_interval_hash
+
+#: Memcached's largest storable value in the default geometry; all models
+#: clamp to it so generated items always fit a slab class.
+_MAX_VALUE_BYTES = (1 << 20) - 4096
+
+
+class SizeModel(abc.ABC):
+    """Maps a key to its (stable) value size in bytes."""
+
+    @abc.abstractmethod
+    def size_of(self, key: str) -> int:
+        """Value size for ``key`` -- deterministic across calls."""
+
+    @staticmethod
+    def _clamp(size: float) -> int:
+        return int(max(1, min(_MAX_VALUE_BYTES, round(size))))
+
+
+class FixedSize(SizeModel):
+    """Every key has the same value size (single slab class)."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ConfigurationError(f"size must be >= 1, got {size}")
+        self.size = self._clamp(size)
+
+    def size_of(self, key: str) -> int:
+        return self.size
+
+
+class UniformSize(SizeModel):
+    """Value sizes uniform in ``[low, high]`` (hash-derived)."""
+
+    def __init__(self, low: int, high: int, salt: int = 101) -> None:
+        if not 1 <= low <= high:
+            raise ConfigurationError(f"bad range [{low}, {high}]")
+        self.low, self.high, self.salt = low, high, salt
+
+    def size_of(self, key: str) -> int:
+        u = unit_interval_hash(key, self.salt)
+        return self._clamp(self.low + u * (self.high - self.low))
+
+
+class LogNormalSize(SizeModel):
+    """Log-normally distributed value sizes around a median."""
+
+    def __init__(self, median: int, sigma: float = 0.8, salt: int = 103) -> None:
+        if median < 1:
+            raise ConfigurationError(f"median must be >= 1, got {median}")
+        if sigma <= 0:
+            raise ConfigurationError(f"sigma must be positive, got {sigma}")
+        self.median, self.sigma, self.salt = median, sigma, salt
+        self._normal = NormalDist(mu=math.log(median), sigma=sigma)
+
+    def size_of(self, key: str) -> int:
+        u = unit_interval_hash(key, self.salt)
+        # Guard the inverse CDF's open interval.
+        u = min(max(u, 1e-12), 1.0 - 1e-12)
+        return self._clamp(math.exp(self._normal.inv_cdf(u)))
+
+
+class GeneralizedParetoSize(SizeModel):
+    """Facebook ETC value sizes: GP(location=0, scale=214.476, shape=0.348).
+
+    Inverse CDF: ``x = scale/shape * ((1 - u)**(-shape) - 1)``. Parameters
+    from Atikoglu et al., Table 3 (ETC pool), the distribution mutilate
+    replays.
+    """
+
+    def __init__(
+        self,
+        scale: float = 214.476,
+        shape: float = 0.348468,
+        minimum: int = 1,
+        salt: int = 107,
+    ) -> None:
+        if scale <= 0 or shape <= 0:
+            raise ConfigurationError("scale and shape must be positive")
+        self.scale, self.shape = scale, shape
+        self.minimum, self.salt = minimum, salt
+
+    def size_of(self, key: str) -> int:
+        u = unit_interval_hash(key, self.salt)
+        u = min(u, 1.0 - 1e-12)
+        x = self.scale / self.shape * ((1.0 - u) ** (-self.shape) - 1.0)
+        return self._clamp(max(self.minimum, x))
+
+
+class MixtureSize(SizeModel):
+    """Each key is assigned (by hash) to one of several size models.
+
+    This is how multi-slab-class applications are synthesized: e.g. 70%
+    of keys small and 30% large reproduces the "large requests take up too
+    much space at the expense of smaller requests" pathology of Table 1.
+    """
+
+    def __init__(
+        self,
+        components: Sequence[Tuple[float, SizeModel]],
+        salt: int = 109,
+    ) -> None:
+        if not components:
+            raise ConfigurationError("mixture needs at least one component")
+        total = sum(weight for weight, _ in components)
+        if total <= 0:
+            raise ConfigurationError("mixture weights must sum > 0")
+        self.salt = salt
+        self._thresholds = []
+        acc = 0.0
+        for weight, model in components:
+            if weight < 0:
+                raise ConfigurationError("negative mixture weight")
+            acc += weight / total
+            self._thresholds.append((acc, model))
+
+    def size_of(self, key: str) -> int:
+        u = unit_interval_hash(key, self.salt)
+        for threshold, model in self._thresholds:
+            if u <= threshold:
+                return model.size_of(key)
+        return self._thresholds[-1][1].size_of(key)

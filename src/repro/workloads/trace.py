@@ -1,0 +1,106 @@
+"""The request record and trace I/O.
+
+A trace is any iterable of :class:`Request` objects ordered by time. The
+JSONL format exists so that generated traces can be cached on disk and
+shared between experiments; generators can equally be consumed lazily
+without ever materializing a file.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import IO, Iterable, Iterator, List, Sequence, Union
+
+from repro.common.errors import TraceFormatError
+
+#: Operations understood by the simulator.
+OPS = ("get", "set", "delete")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One cache request.
+
+    Attributes:
+        time: Simulated timestamp in seconds since trace start.
+        app: Application identifier (tenant).
+        key: The cache key (string).
+        op: One of ``get``, ``set``, ``delete``.
+        value_size: Size of the value in bytes. For GETs this is the size
+            of the object the key refers to, which the simulator uses to
+            fill the cache on a miss (the standard trace-replay
+            convention).
+        key_size: Size of the key in bytes; defaults to ``len(key)``.
+    """
+
+    time: float
+    app: str
+    key: str
+    op: str
+    value_size: int
+    key_size: int = -1
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise TraceFormatError(f"unknown op {self.op!r}")
+        if self.value_size < 0:
+            raise TraceFormatError(
+                f"value_size must be >= 0, got {self.value_size}"
+            )
+        if self.key_size < 0:
+            object.__setattr__(self, "key_size", len(self.key))
+
+
+def save_jsonl(requests: Iterable[Request], path: Union[str, Path]) -> int:
+    """Write requests to a JSONL file; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for request in requests:
+            handle.write(json.dumps(asdict(request), separators=(",", ":")))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_jsonl(path: Union[str, Path]) -> Iterator[Request]:
+    """Lazily read requests from a JSONL file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        yield from _parse_lines(handle, str(path))
+
+
+def _parse_lines(handle: IO[str], origin: str) -> Iterator[Request]:
+    for lineno, line in enumerate(handle, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            yield Request(**record)
+        except (json.JSONDecodeError, TypeError, TraceFormatError) as exc:
+            raise TraceFormatError(
+                f"{origin}:{lineno}: bad trace record: {exc}"
+            ) from exc
+
+
+def merge_by_time(streams: Sequence[Iterable[Request]]) -> Iterator[Request]:
+    """Merge independently-ordered per-app streams into one global trace.
+
+    Each input stream must be internally time-ordered; the output is the
+    time-ordered interleaving (stable across runs given identical inputs).
+    """
+    return heapq.merge(
+        *streams, key=lambda request: (request.time, request.app)
+    )
+
+
+def take(trace: Iterable[Request], limit: int) -> List[Request]:
+    """Materialize at most ``limit`` requests (testing convenience)."""
+    out: List[Request] = []
+    for request in trace:
+        out.append(request)
+        if len(out) >= limit:
+            break
+    return out

@@ -1,0 +1,51 @@
+"""Tests for LookAhead: unlike the greedy solver it strides across
+performance cliffs, because it evaluates average utility over every
+possible expansion."""
+
+import pytest
+
+from repro.allocation.lookahead import LookAheadAllocator
+from repro.common.errors import AllocationError
+from repro.profiling.hrc import HitRateCurve
+
+
+def curve(points, total=10000):
+    return HitRateCurve.from_points(points, total)
+
+
+class TestLookAhead:
+    def test_bad_granularity(self):
+        with pytest.raises(AllocationError):
+            LookAheadAllocator(0)
+
+    def test_crosses_a_cliff(self):
+        cliff = curve(
+            [(0, 0.0), (100, 0.0), (190, 0.02), (200, 0.95), (300, 0.96)]
+        )
+        sink = curve([(0, 0.0), (1000, 0.6)])
+        plan = LookAheadAllocator(granularity=10).allocate(
+            {"cliff": cliff, "sink": sink},
+            {"cliff": 500, "sink": 500},
+            400,
+        )
+        # LookAhead sees the big average utility of jumping to 200.
+        assert plan.allocations["cliff"] >= 200
+
+    def test_agrees_with_greedy_on_concave(self):
+        from repro.allocation.dynacache import DynacacheSolver
+
+        a = curve([(0, 0.0), (100, 0.6), (200, 0.8), (400, 0.9)])
+        b = curve([(0, 0.0), (100, 0.3), (200, 0.5), (400, 0.7)])
+        curves = {"a": a, "b": b}
+        freqs = {"a": 100, "b": 100}
+        lookahead = LookAheadAllocator(20).allocate(curves, freqs, 400)
+        greedy = DynacacheSolver(20).allocate(curves, freqs, 400)
+        assert lookahead.allocations["a"] == pytest.approx(
+            greedy.allocations["a"], abs=40
+        )
+
+    def test_expected_rate_reported(self):
+        a = curve([(0, 0.0), (100, 0.8)])
+        plan = LookAheadAllocator(10).allocate({"a": a}, {"a": 10}, 100)
+        assert plan.expected_hit_rates["a"] == pytest.approx(0.8)
+        assert plan.expected_overall_hit_rate == pytest.approx(0.8)

@@ -1,0 +1,35 @@
+"""Tests for the trivial static plans."""
+
+import pytest
+
+from repro.allocation.static import proportional_plan, uniform_plan
+from repro.common.errors import AllocationError
+
+
+class TestUniform:
+    def test_even_split(self):
+        plan = uniform_plan(["a", "b", "c", "d"], 100)
+        assert all(v == 25 for v in plan.values())
+
+    def test_empty_rejected(self):
+        with pytest.raises(AllocationError):
+            uniform_plan([], 100)
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(AllocationError):
+            uniform_plan(["a"], 0)
+
+
+class TestProportional:
+    def test_follows_demand(self):
+        plan = proportional_plan({"a": 3, "b": 1}, 100)
+        assert plan["a"] == pytest.approx(75)
+        assert plan["b"] == pytest.approx(25)
+
+    def test_zero_demand_falls_back_to_uniform(self):
+        plan = proportional_plan({"a": 0, "b": 0}, 100)
+        assert plan["a"] == plan["b"] == 50
+
+    def test_total_preserved(self):
+        plan = proportional_plan({"a": 7, "b": 2, "c": 13}, 123)
+        assert sum(plan.values()) == pytest.approx(123)

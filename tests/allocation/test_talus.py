@@ -1,0 +1,101 @@
+"""Tests for Talus partition planning, including the paper's worked
+example (Figure 4: 8000 items on a (2000, 13500) cliff -> 957/7043 split
+at a 48%/52% request ratio)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.allocation.talus import (
+    TalusPartition,
+    compute_ratio,
+    plan_talus_partition,
+)
+from repro.profiling.hrc import HitRateCurve
+
+
+def cliff_curve():
+    sizes = [0, 2000, 4000, 8000, 12000, 13500, 16000]
+    rates = [0.0, 0.10, 0.12, 0.20, 0.60, 0.90, 0.92]
+    return HitRateCurve(sizes, rates, total_requests=100000)
+
+
+class TestComputeRatio:
+    def test_paper_example(self):
+        ratio = compute_ratio(8000, 2000, 13500)
+        assert ratio == pytest.approx(5500 / 11500)
+        # "split the requests ... using a ratio of 0.48 and 0.52"
+        assert round(ratio, 2) == 0.48
+
+    def test_degenerate_returns_half(self):
+        assert compute_ratio(100, 100, 100) == 0.5
+        assert compute_ratio(100, 100, 200) == 0.5
+        assert compute_ratio(100, 50, 100) == 0.5
+
+    @given(
+        st.floats(1, 1e6),
+        st.floats(0, 0.99),
+        st.floats(1.01, 10),
+    )
+    def test_partition_sizes_sum_to_operating_point(
+        self, size, left_frac, right_frac
+    ):
+        """The Talus identity: L*rho + R*(1-rho) == S whenever
+        L < S < R."""
+        left, right = size * left_frac, size * right_frac
+        ratio = compute_ratio(size, left, right)
+        assert left * ratio + right * (1 - ratio) == pytest.approx(
+            size, rel=1e-9
+        )
+
+
+class TestPaperExampleEndToEnd:
+    def test_957_and_7043_items(self):
+        ratio = compute_ratio(8000, 2000, 13500)
+        left_physical = 2000 * ratio
+        right_physical = 13500 * (1 - ratio)
+        assert left_physical == pytest.approx(957, abs=1)
+        assert right_physical == pytest.approx(7043, abs=1)
+
+
+class TestPlanPartition:
+    def test_plans_inside_cliff(self):
+        plan = plan_talus_partition(cliff_curve(), 8000, tolerance=0.02)
+        assert plan is not None
+        assert plan.left_anchor < 8000 < plan.right_anchor
+        assert plan.left_size + plan.right_size == pytest.approx(8000)
+        assert plan.expected_hit_rate > cliff_curve().hit_rate(8000)
+
+    def test_no_plan_outside_cliff(self):
+        assert plan_talus_partition(cliff_curve(), 15500) is None
+
+    def test_expected_rate_is_hull_interpolation(self):
+        curve = cliff_curve()
+        plan = plan_talus_partition(curve, 8000, tolerance=0.02)
+        hull = curve.concave_hull()
+        assert plan.expected_hit_rate == pytest.approx(
+            hull.hit_rate(8000), abs=0.02
+        )
+
+    def test_invalid_partition_rejected(self):
+        with pytest.raises(Exception):
+            TalusPartition(
+                size=100,
+                left_anchor=200,  # anchor beyond the operating point
+                right_anchor=300,
+                left_fraction=0.5,
+                left_size=50,
+                right_size=50,
+                expected_hit_rate=0.5,
+            )
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(Exception):
+            TalusPartition(
+                size=100,
+                left_anchor=50,
+                right_anchor=150,
+                left_fraction=0.5,
+                left_size=10,
+                right_size=10,
+                expected_hit_rate=0.5,
+            )

@@ -1,0 +1,162 @@
+"""Tests for the baseline engines and the multi-tenant server."""
+
+import pytest
+
+from repro.cache.engines import FirstComeFirstServeEngine, PlannedEngine
+from repro.cache.log_structured import GlobalLRUEngine
+from repro.cache.server import CacheServer
+from repro.cache.slabs import SlabGeometry
+from repro.common.errors import ConfigurationError
+from repro.workloads.trace import Request
+
+GEO = SlabGeometry.default()
+
+
+def get(key, size=100, app="a", t=0.0):
+    return Request(time=t, app=app, key=key, op="get", value_size=size)
+
+
+def put(key, size=100, app="a", t=0.0):
+    return Request(time=t, app=app, key=key, op="set", value_size=size)
+
+
+class TestFCFSEngine:
+    def test_fill_on_miss_then_hit(self):
+        engine = FirstComeFirstServeEngine("a", 1 << 20, GEO)
+        assert engine.process(get("k")).hit is False
+        assert engine.process(get("k")).hit is True
+
+    def test_greedy_growth_until_budget(self):
+        engine = FirstComeFirstServeEngine("a", 10 * 256, GEO)
+        for i in range(50):
+            engine.process(get(f"k{i}", size=100))  # class 2, 256B chunks
+        total = sum(engine.capacities().values())
+        assert total <= 10 * 256
+
+    def test_per_class_eviction_after_full(self):
+        engine = FirstComeFirstServeEngine("a", 8 * 256, GEO)
+        for i in range(20):
+            engine.process(get(f"k{i}", size=100))
+        # Still serves the most recent keys.
+        assert engine.process(get("k19")).hit is True
+        assert engine.process(get("k0")).hit is False
+
+    def test_steal_for_starved_class(self):
+        engine = FirstComeFirstServeEngine("a", 4096, GEO)
+        for i in range(30):
+            engine.process(get(f"small{i}", size=100))
+        # A brand-new class arrives with memory exhausted.
+        outcome = engine.process(get("big0", size=3000))
+        assert outcome.hit is False
+        assert engine.process(get("big0", size=3000)).hit is True
+
+    def test_delete(self):
+        engine = FirstComeFirstServeEngine("a", 1 << 20, GEO)
+        engine.process(put("k"))
+        removed = engine.process(
+            Request(0.0, "a", "k", "delete", value_size=100)
+        )
+        assert removed.hit is True
+        assert engine.process(get("k")).hit is False
+
+    def test_class_migration_on_resize(self):
+        engine = FirstComeFirstServeEngine("a", 1 << 20, GEO)
+        engine.process(put("k", size=100))
+        engine.process(put("k", size=5000))  # moves to a bigger class
+        assert engine.process(get("k", size=5000)).hit is True
+        # Only one copy exists.
+        assert sum(len(q) for q in engine.queues.values()) == 1
+
+    def test_shrink_budget_evicts(self):
+        engine = FirstComeFirstServeEngine("a", 1 << 20, GEO)
+        for i in range(100):
+            engine.process(get(f"k{i}", size=1000))
+        before = engine.used_bytes()
+        engine.shrink_budget(before / 2)
+        assert engine.used_bytes() <= engine.budget_bytes + 1e-6
+
+
+class TestPlannedEngine:
+    def test_plan_respected(self):
+        plan = {2: 10 * 256}
+        engine = PlannedEngine("a", 1 << 20, GEO, plan)
+        for i in range(20):
+            engine.process(get(f"k{i}", size=100))
+        assert engine.capacities()[2] == 10 * 256
+
+    def test_zero_capacity_class_is_bypass(self):
+        engine = PlannedEngine("a", 1 << 20, GEO, {2: 0.0})
+        engine.process(get("k", size=100))
+        assert engine.process(get("k", size=100)).hit is False
+
+    def test_overcommitted_plan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlannedEngine("a", 100, GEO, {2: 1000.0})
+
+    def test_unplanned_class_bypasses(self):
+        engine = PlannedEngine("a", 1 << 20, GEO, {2: 2560.0})
+        engine.process(get("big", size=5000))
+        assert engine.process(get("big", size=5000)).hit is False
+
+
+class TestGlobalLRUEngine:
+    def test_no_chunk_rounding(self):
+        engine = GlobalLRUEngine("a", 1000, GEO)
+        engine.process(get("k", size=500))
+        # key+value bytes, not a chunk: 1 item of ~501..505B
+        assert engine.used_bytes() < 600
+
+    def test_byte_weighted_eviction(self):
+        engine = GlobalLRUEngine("a", 1000, GEO)
+        engine.process(get("a", size=400))
+        engine.process(get("b", size=400))
+        engine.process(get("c", size=400))  # evicts "a"
+        assert engine.process(get("a", size=400)).hit is False
+        assert engine.process(get("c", size=400)).hit is True
+
+    def test_large_items_displace_small(self):
+        """The Table 2 caveat: global LRU still lets large items push
+        out many small ones."""
+        engine = GlobalLRUEngine("a", 2000, GEO)
+        for i in range(10):
+            engine.process(get(f"s{i}", size=100))
+        engine.process(get("huge", size=1800))
+        survivors = sum(
+            engine.process(get(f"s{i}", size=100)).hit for i in range(10)
+        )
+        assert survivors == 0
+
+
+class TestCacheServer:
+    def test_routes_by_app(self):
+        server = CacheServer(GEO)
+        server.add_app(FirstComeFirstServeEngine("a", 1 << 20, GEO))
+        server.add_app(FirstComeFirstServeEngine("b", 1 << 20, GEO))
+        server.process(get("k", app="a"))
+        assert server.process(get("k", app="a")).hit is True
+        assert server.process(get("k", app="b")).hit is False
+
+    def test_duplicate_app_rejected(self):
+        server = CacheServer(GEO)
+        server.add_app(FirstComeFirstServeEngine("a", 1 << 20, GEO))
+        with pytest.raises(ConfigurationError):
+            server.add_app(FirstComeFirstServeEngine("a", 1 << 20, GEO))
+
+    def test_unknown_app_rejected(self):
+        server = CacheServer(GEO)
+        with pytest.raises(ConfigurationError):
+            server.process(get("k", app="ghost"))
+
+    def test_observer_sees_every_request(self):
+        server = CacheServer(GEO)
+        server.add_app(FirstComeFirstServeEngine("a", 1 << 20, GEO))
+        seen = []
+        server.add_observer(lambda req, out: seen.append((req.key, out.hit)))
+        server.replay([get("x"), get("x")])
+        assert seen == [("x", False), ("x", True)]
+
+    def test_memory_accounting(self):
+        server = CacheServer(GEO)
+        server.add_app(FirstComeFirstServeEngine("a", 1 << 20, GEO))
+        server.process(get("k"))
+        assert 0 < server.memory_in_use() <= server.memory_reserved()

@@ -1,0 +1,134 @@
+"""Tests for concave hulls, interpolation and EMA."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.mathutils import (
+    ExponentialMovingAverage,
+    clamp,
+    concave_hull,
+    interpolate,
+)
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(5, 0, 10) == 5
+
+    def test_below_and_above(self):
+        assert clamp(-1, 0, 10) == 0
+        assert clamp(11, 0, 10) == 10
+
+    def test_empty_interval_raises(self):
+        with pytest.raises(ValueError):
+            clamp(1, 5, 2)
+
+
+class TestInterpolate:
+    def test_exact_points(self):
+        xs, ys = [0, 10, 20], [0.0, 1.0, 4.0]
+        for x, y in zip(xs, ys):
+            assert interpolate(xs, ys, x) == pytest.approx(y)
+
+    def test_midpoint(self):
+        assert interpolate([0, 10], [0.0, 1.0], 5) == pytest.approx(0.5)
+
+    def test_clamps_outside_range(self):
+        assert interpolate([0, 10], [0.2, 0.8], -5) == pytest.approx(0.2)
+        assert interpolate([0, 10], [0.2, 0.8], 50) == pytest.approx(0.8)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            interpolate([0, 1], [0.0], 0.5)
+
+
+class TestConcaveHull:
+    def test_empty(self):
+        assert concave_hull([]) == []
+
+    def test_single_point(self):
+        assert concave_hull([(1.0, 0.5)]) == [(1.0, 0.5)]
+
+    def test_concave_input_is_unchanged(self):
+        points = [(0, 0.0), (1, 0.5), (2, 0.8), (3, 0.9)]
+        hull = concave_hull(points)
+        assert hull == [(0.0, 0.0), (1.0, 0.5), (2.0, 0.8), (3.0, 0.9)]
+
+    def test_convex_bump_is_bridged(self):
+        # A cliff: flat then jump. The hull is the straight chord.
+        points = [(0, 0.0), (5, 0.05), (9, 0.1), (10, 1.0)]
+        hull = concave_hull(points)
+        assert (5, 0.05) not in hull
+        assert (9, 0.1) not in hull
+        assert hull[0] == (0.0, 0.0)
+        assert hull[-1] == (10.0, 1.0)
+
+    def test_duplicate_x_keeps_max_y(self):
+        hull = concave_hull([(0, 0.0), (1, 0.2), (1, 0.7), (2, 0.8)])
+        assert (1.0, 0.7) in hull
+        assert (1.0, 0.2) not in hull
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 100, allow_nan=False),
+                st.floats(0, 1, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_hull_dominates_points(self, points):
+        """Property: the hull, linearly interpolated, sits at or above
+        every input point within its x-range."""
+        hull = concave_hull(points)
+        xs = [p[0] for p in hull]
+        ys = [p[1] for p in hull]
+        for x, y in points:
+            if xs[0] <= x <= xs[-1]:
+                assert interpolate(xs, ys, x) >= y - 1e-9
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 100, allow_nan=False),
+                st.floats(0, 1, allow_nan=False),
+            ),
+            min_size=3,
+            max_size=40,
+        )
+    )
+    def test_hull_is_concave(self, points):
+        """Property: consecutive hull slopes are non-increasing."""
+        hull = concave_hull(points)
+        slopes = []
+        for (x0, y0), (x1, y1) in zip(hull, hull[1:]):
+            assert x1 > x0
+            slopes.append((y1 - y0) / (x1 - x0))
+        for s0, s1 in zip(slopes, slopes[1:]):
+            assert s1 <= s0 + 1e-9
+
+
+class TestEMA:
+    def test_first_update_sets_value(self):
+        ema = ExponentialMovingAverage(0.5)
+        assert ema.value is None
+        assert ema.update(10.0) == 10.0
+
+    def test_converges_to_constant(self):
+        ema = ExponentialMovingAverage(0.2)
+        for _ in range(200):
+            ema.update(3.0)
+        assert ema.value == pytest.approx(3.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            ExponentialMovingAverage(0.0)
+        with pytest.raises(ValueError):
+            ExponentialMovingAverage(1.5)
+
+    def test_reset(self):
+        ema = ExponentialMovingAverage(0.3)
+        ema.update(1.0)
+        ema.reset()
+        assert ema.value is None

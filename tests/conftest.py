@@ -1,0 +1,42 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cache.slabs import SlabGeometry
+
+
+@pytest.fixture
+def geometry() -> SlabGeometry:
+    return SlabGeometry.default()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC11FF)
+
+
+def zipf_keys(rng: random.Random, num_keys: int, count: int, alpha: float = 1.0):
+    """Small pure-python zipf key stream for unit tests."""
+    weights = [1.0 / (rank + 1) ** alpha for rank in range(num_keys)]
+    total = sum(weights)
+    cdf = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cdf.append(acc)
+    keys = []
+    for _ in range(count):
+        u = rng.random()
+        lo, hi = 0, num_keys - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        keys.append(f"k{lo}")
+    return keys

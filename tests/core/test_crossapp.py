@@ -1,0 +1,64 @@
+"""Tests for cross-application hill climbing (section 3.3)."""
+
+import pytest
+
+from repro.cache.engines import FirstComeFirstServeEngine
+from repro.cache.server import CacheServer
+from repro.cache.slabs import SlabGeometry
+from repro.core.crossapp import CrossAppHillClimber
+from repro.workloads.trace import Request
+
+GEO = SlabGeometry.default()
+
+
+def get(key, app, size=100, t=0.0):
+    return Request(time=t, app=app, key=key, op="get", value_size=size)
+
+
+def build_server(budgets):
+    server = CacheServer(GEO)
+    for app, budget in budgets.items():
+        server.add_app(FirstComeFirstServeEngine(app, budget, GEO))
+    return server
+
+
+class TestCrossAppHillClimber:
+    def test_budgets_conserved(self, rng):
+        server = build_server({"rich": 128 * 1024, "poor": 128 * 1024})
+        climber = CrossAppHillClimber(
+            server, credit_bytes=2048, shadow_bytes=64 * 1024, seed=1
+        ).attach()
+        for i in range(8000):
+            server.process(get(f"r{rng.randrange(50)}", "rich"))
+            server.process(get(f"p{rng.randrange(4000)}", "poor"))
+        budgets = climber.budgets()
+        assert sum(budgets.values()) == pytest.approx(256 * 1024, rel=0.01)
+
+    def test_memory_flows_to_the_starved_app(self, rng):
+        """'rich' has a tiny working set; 'poor' misses constantly with
+        demand just beyond its reservation. Budget should flow."""
+        server = build_server({"rich": 192 * 1024, "poor": 64 * 1024})
+        climber = CrossAppHillClimber(
+            server, credit_bytes=4096, shadow_bytes=128 * 1024, seed=2
+        ).attach()
+        for i in range(12000):
+            server.process(get(f"r{rng.randrange(30)}", "rich"))
+            server.process(get(f"p{rng.randrange(1500)}", "poor", size=200))
+        assert climber.budgets()["poor"] > 64 * 1024
+
+    def test_observer_ignores_unknown_apps(self):
+        server = build_server({"a": 64 * 1024})
+        climber = CrossAppHillClimber(server, seed=0)
+        from repro.cache.stats import AccessOutcome
+
+        climber.observe(
+            get("k", "ghost"),
+            AccessOutcome(hit=False, app="ghost", op="get"),
+        )  # must not raise
+
+    def test_physical_hits_do_not_trigger_climbing(self, rng):
+        server = build_server({"a": 256 * 1024, "b": 256 * 1024})
+        climber = CrossAppHillClimber(server, seed=0).attach()
+        for i in range(2000):
+            server.process(get("hot", "a"))
+        assert climber.climber.transfers == 0

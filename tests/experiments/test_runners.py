@@ -1,0 +1,88 @@
+"""Smoke and shape tests for every experiment runner at tiny scale.
+
+These are integration tests: each runner must execute end to end,
+produce the declared table shape, and (where cheap to check) satisfy the
+paper's qualitative claims.
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import REGISTRY, get_runner, list_experiments
+
+TINY = 0.012
+
+
+@pytest.mark.parametrize("experiment_id", list_experiments())
+def test_runner_smoke(experiment_id):
+    runner = get_runner(experiment_id)
+    kwargs = {"scale": TINY} if experiment_id not in ("tab6", "tab7") else {
+        "scale": 0.15
+    }
+    if experiment_id == "sensitivity":
+        pytest.skip("covered by the dedicated benchmark (slow sweep)")
+    if experiment_id == "fig7":
+        kwargs["apps"] = [3, 19]
+    result = runner(seed=0, **kwargs)
+    assert isinstance(result, ExperimentResult)
+    assert result.rows, experiment_id
+    for row in result.rows:
+        assert len(row) == len(result.headers), experiment_id
+    rendered = result.render()
+    assert result.experiment_id in rendered
+
+
+def test_registry_covers_every_paper_artifact():
+    expected = {
+        "fig1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
+        "tab1", "tab2", "tab3", "tab4", "tab5", "tab6", "tab7",
+        "sensitivity",
+    }
+    assert set(REGISTRY) == expected
+
+
+def test_unknown_runner_rejected():
+    from repro.common.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        get_runner("fig99")
+
+
+class TestQualitativeClaims:
+    def test_fig4_reproduces_papers_arithmetic(self):
+        result = get_runner("fig4")(scale=TINY, seed=0)
+        paper_row = next(r for r in result.rows if r[0] == "paper-example")
+        assert round(paper_row[4], 2) == 0.48  # request ratio
+        assert abs(paper_row[5] - 957) < 1.0  # left physical queue
+        assert abs(paper_row[6] - 7043) < 1.0  # right physical queue
+
+    def test_tab4_ablation_ordering(self):
+        result = get_runner("tab4")(scale=0.03, seed=0)
+        total = next(r for r in result.rows if r[0] == "total")
+        default, cliff_only, hill_only, combined = total[2:6]
+        assert cliff_only > default
+        assert combined > default
+
+    def test_fig6_cliffhanger_not_worse_on_average(self):
+        result = get_runner("fig6")(scale=0.02, seed=0)
+        default_mean = sum(r[2] for r in result.rows) / len(result.rows)
+        cliffhanger_mean = sum(r[4] for r in result.rows) / len(result.rows)
+        assert cliffhanger_mean >= default_mean - 0.01
+
+    def test_result_json_roundtrip(self, tmp_path):
+        result = get_runner("fig1")(scale=TINY, seed=0)
+        path = result.save(tmp_path)
+        assert path.exists()
+        import json
+
+        payload = json.loads(path.read_text())
+        assert payload["experiment_id"] == "fig1"
+
+
+def test_cli_runs_one_experiment(capsys):
+    from repro.experiments.cli import main
+
+    assert main(["fig1", "--scale", str(TINY)]) == 0
+    out = capsys.readouterr().out
+    assert "fig1" in out
+    assert "hit_rate" in out

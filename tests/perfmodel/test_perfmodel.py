@@ -1,0 +1,88 @@
+"""Tests for the cost model and micro-benchmark drivers."""
+
+import pytest
+
+from repro.cache.stats import OpCounter
+from repro.common.errors import ConfigurationError
+from repro.perfmodel.costmodel import CostModel, overhead_percent
+from repro.perfmodel.microbench import (
+    measure_latency_overhead,
+    measure_throughput_slowdown,
+)
+
+
+class TestCostModel:
+    def test_mechanism_cost_linear_in_ops(self):
+        model = CostModel()
+        ops = OpCounter(hash_lookups=10)
+        assert model.mechanism_cost(ops) == pytest.approx(
+            10 * model.hash_lookup
+        )
+
+    def test_request_cost_mixes_bases(self):
+        model = CostModel()
+        cost = model.request_cost(OpCounter(), gets=1, sets=1)
+        assert cost == pytest.approx((model.base_get + model.base_set) / 2)
+
+    def test_zero_requests_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostModel().request_cost(OpCounter(), 0, 0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(base_get=-1)
+
+    def test_throughput_inverse_of_cost(self):
+        model = CostModel()
+        ops = OpCounter()
+        assert model.throughput(ops, 10, 0) == pytest.approx(
+            1e6 / model.base_get
+        )
+
+
+class TestOverheadPercent:
+    def test_positive_overhead(self):
+        assert overhead_percent(10.0, 11.0) == pytest.approx(10.0)
+
+    def test_clamped_at_zero(self):
+        assert overhead_percent(10.0, 9.0) == 0.0
+
+    def test_invalid_baseline(self):
+        with pytest.raises(ConfigurationError):
+            overhead_percent(0.0, 1.0)
+
+
+class TestMicroBench:
+    def test_latency_overheads_small_and_ordered(self):
+        """Shape of Table 6: overheads exist, stay in the low percent
+        range, and the combined algorithm costs at least as much as
+        hill climbing alone."""
+        overheads = measure_latency_overhead(num_requests=4000, seed=1)
+        for algorithm in ("hill-climbing", "cliffhanger"):
+            for op in ("get", "set"):
+                assert 0.0 <= overheads[algorithm][op] < 25.0
+        assert (
+            overheads["cliffhanger"]["get"]
+            >= overheads["hill-climbing"]["get"] - 1e-9
+        )
+
+    def test_hit_path_cheaper_than_miss_path(self):
+        miss = measure_latency_overhead(
+            num_requests=4000, all_miss=True, seed=1
+        )
+        hit = measure_latency_overhead(
+            num_requests=4000, all_miss=False, seed=1
+        )
+        assert (
+            hit["hill-climbing"]["get"] <= miss["hill-climbing"]["get"] + 1e-9
+        )
+
+    def test_throughput_slowdown_rows(self):
+        rows = measure_throughput_slowdown(
+            mixes=((0.967, 0.033), (0.1, 0.9)), num_requests=4000, seed=1
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert 0.0 <= row["slowdown_pct"] < 30.0
+        # More SETs -> more allocation/shadow work -> more slowdown.
+        assert rows[1]["slowdown_pct"] >= rows[0]["slowdown_pct"] - 0.5

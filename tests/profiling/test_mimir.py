@@ -1,0 +1,67 @@
+"""Tests for the Mimir bucket estimator."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.profiling.mimir import MimirProfiler
+from repro.profiling.stack_distance import StackDistanceProfiler
+
+
+class TestMimirBasics:
+    def test_cold_access_is_none(self):
+        profiler = MimirProfiler()
+        assert profiler.record("a") is None
+
+    def test_rereference_estimates_positive(self):
+        profiler = MimirProfiler()
+        profiler.record("a")
+        profiler.record("b")
+        estimate = profiler.record("a")
+        assert estimate is not None and estimate > 0
+
+    def test_needs_two_buckets(self):
+        with pytest.raises(ConfigurationError):
+            MimirProfiler(num_buckets=1)
+
+    def test_max_tracked_bound(self):
+        profiler = MimirProfiler(max_tracked=50)
+        for i in range(500):
+            profiler.record(f"k{i}")
+        assert profiler.tracked <= 50
+
+    def test_forgotten_key_looks_cold(self):
+        profiler = MimirProfiler(max_tracked=10)
+        profiler.record("victim")
+        for i in range(100):
+            profiler.record(f"filler{i}")
+        assert profiler.record("victim") is None
+
+
+class TestMimirAccuracy:
+    def test_rough_agreement_with_exact(self, rng):
+        """The bucket estimate should land in the right ballpark: mean
+        relative error bounded, ordering preserved on average. (The
+        paper relies on it being *imperfect*, so the bound is loose.)"""
+        keys = [f"k{rng.randrange(200)}" for _ in range(20000)]
+        exact = StackDistanceProfiler().record_all(keys)
+        estimated = MimirProfiler(num_buckets=100).record_all(keys)
+        pairs = [
+            (e, m)
+            for e, m in zip(exact, estimated)
+            if e is not None and m is not None and e > 20
+        ]
+        assert pairs, "stream produced no warm re-references"
+        ratio = sum(m / e for e, m in pairs) / len(pairs)
+        assert 0.4 < ratio < 2.5
+
+    def test_estimates_monotone_in_buckets(self, rng):
+        """More buckets -> finer resolution: estimates take more
+        distinct values."""
+        keys = [f"k{rng.randrange(100)}" for _ in range(5000)]
+        coarse = MimirProfiler(num_buckets=4).record_all(keys)
+        fine = MimirProfiler(num_buckets=100).record_all(keys)
+        distinct_coarse = len({d for d in coarse if d is not None})
+        distinct_fine = len({d for d in fine if d is not None})
+        assert distinct_fine >= distinct_coarse

@@ -1,0 +1,100 @@
+"""Tests for the synthetic Memcachier trace."""
+
+import itertools
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.common import classify
+from repro.workloads.memcachier import (
+    APP_SPECS,
+    build_memcachier_trace,
+    value_size_for_class,
+    zipf_cache_for_hit_rate,
+)
+
+
+class TestHelpers:
+    def test_value_size_lands_in_class(self):
+        from repro.cache.item import CacheItem
+        from repro.cache.slabs import SlabGeometry
+
+        geometry = SlabGeometry.default()
+        for class_index in range(1, 12):
+            value = value_size_for_class(class_index)
+            item = CacheItem(key="app00:z:12345", value_size=value)
+            assert geometry.class_for_size(item.total_size) == class_index
+
+    def test_zipf_cache_monotone_in_target(self):
+        small = zipf_cache_for_hit_rate(10000, 1.0, 0.5)
+        large = zipf_cache_for_hit_rate(10000, 1.0, 0.9)
+        assert small < large <= 10000
+
+    def test_zipf_cache_invalid_target(self):
+        with pytest.raises(ConfigurationError):
+            zipf_cache_for_hit_rate(100, 1.0, 0.0)
+
+
+class TestSpecs:
+    def test_twenty_apps(self):
+        assert len(APP_SPECS) == 20
+        assert [spec.index for spec in APP_SPECS] == list(range(1, 21))
+
+    def test_cliff_apps_match_paper_annotation(self):
+        starred = {spec.index for spec in APP_SPECS if spec.has_cliff}
+        assert starred == {1, 7, 10, 11, 18, 19}
+
+
+class TestBuild:
+    def test_subset_selection(self):
+        trace = build_memcachier_trace(scale=0.01, apps=[3, 5])
+        assert trace.app_names == ["app03", "app05"]
+
+    def test_unknown_subset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_memcachier_trace(scale=0.01, apps=[99])
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigurationError):
+            build_memcachier_trace(scale=0)
+
+    def test_requests_are_time_ordered_and_complete(self):
+        trace = build_memcachier_trace(scale=0.01, apps=[3, 4, 5])
+        requests = list(trace.requests())
+        assert len(requests) == trace.total_requests
+        times = [r.time for r in requests]
+        assert times == sorted(times)
+
+    def test_regenerable(self):
+        trace = build_memcachier_trace(scale=0.01, apps=[3])
+        first = [r.key for r in itertools.islice(trace.requests(), 200)]
+        second = [r.key for r in itertools.islice(trace.requests(), 200)]
+        assert first == second
+
+    def test_deterministic_across_builds(self):
+        a = build_memcachier_trace(scale=0.01, apps=[4], seed=5)
+        b = build_memcachier_trace(scale=0.01, apps=[4], seed=5)
+        keys_a = [r.key for r in itertools.islice(a.requests(), 300)]
+        keys_b = [r.key for r in itertools.islice(b.requests(), 300)]
+        assert keys_a == keys_b
+
+    def test_app_structure_matches_design(self):
+        """Apps with documented multi-class structure really produce
+        requests in several slab classes."""
+        trace = build_memcachier_trace(scale=0.02, apps=[6])
+        classes = {
+            classify(r)
+            for r in itertools.islice(trace.app_requests("app06"), 4000)
+        }
+        assert len(classes) >= 3
+
+    def test_reservations_positive(self):
+        trace = build_memcachier_trace(scale=0.01)
+        assert all(v > 0 for v in trace.reservations.values())
+
+    def test_min_requests_floor(self):
+        trace = build_memcachier_trace(scale=0.001)
+        for spec in APP_SPECS:
+            assert (
+                trace.requests_per_app[spec.name] >= spec.min_requests
+            )

@@ -1,0 +1,212 @@
+"""Tests for the workload generators, size models and trace I/O."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigurationError, TraceFormatError
+from repro.profiling.hrc import HitRateCurve
+from repro.profiling.stack_distance import StackDistanceProfiler
+from repro.workloads.facebook import (
+    FACEBOOK_GET_FRACTION,
+    FacebookETCStream,
+    UniqueKeyStream,
+)
+from repro.workloads.generators import (
+    Component,
+    MixtureStream,
+    Phase,
+    ReuseDistanceStream,
+    ScanStream,
+    ZipfStream,
+)
+from repro.workloads.sizes import (
+    FixedSize,
+    GeneralizedParetoSize,
+    LogNormalSize,
+    MixtureSize,
+    UniformSize,
+)
+from repro.workloads.trace import (
+    Request,
+    load_jsonl,
+    merge_by_time,
+    save_jsonl,
+    take,
+)
+from repro.workloads.zipf import ZipfSampler
+
+
+class TestZipfSampler:
+    def test_rank_zero_most_popular(self):
+        sampler = ZipfSampler(1000, alpha=1.0, seed=1)
+        ranks = sampler.sample(20000)
+        counts = np.bincount(ranks, minlength=1000)
+        assert counts[0] == counts.max()
+
+    def test_alpha_zero_is_uniform(self):
+        sampler = ZipfSampler(10, alpha=0.0, seed=1)
+        ranks = sampler.sample(50000)
+        counts = np.bincount(ranks, minlength=10)
+        assert counts.min() > 0.8 * counts.max()
+
+    def test_probability_sums_to_one(self):
+        sampler = ZipfSampler(50, alpha=1.2)
+        total = sum(sampler.probability(r) for r in range(50))
+        assert total == pytest.approx(1.0)
+
+    def test_deterministic_given_seed(self):
+        a = ZipfSampler(100, 1.0, seed=7).sample(100)
+        b = ZipfSampler(100, 1.0, seed=7).sample(100)
+        assert np.array_equal(a, b)
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            ZipfSampler(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            ZipfSampler(10, -1.0)
+
+
+class TestSizeModels:
+    @pytest.mark.parametrize(
+        "model",
+        [
+            FixedSize(100),
+            UniformSize(10, 500),
+            LogNormalSize(200),
+            GeneralizedParetoSize(),
+            MixtureSize([(0.5, FixedSize(50)), (0.5, FixedSize(5000))]),
+        ],
+    )
+    def test_deterministic_per_key(self, model):
+        for key in ("a", "user:17", "x" * 40):
+            assert model.size_of(key) == model.size_of(key)
+            assert model.size_of(key) >= 1
+
+    def test_uniform_within_bounds(self):
+        model = UniformSize(10, 20)
+        sizes = {model.size_of(f"k{i}") for i in range(500)}
+        assert all(10 <= s <= 20 for s in sizes)
+
+    def test_pareto_is_heavy_tailed(self):
+        model = GeneralizedParetoSize()
+        sizes = [model.size_of(f"k{i}") for i in range(20000)]
+        mean = sum(sizes) / len(sizes)
+        assert np.median(sizes) < mean  # right-skewed
+
+    def test_mixture_assigns_both_components(self):
+        model = MixtureSize([(0.5, FixedSize(50)), (0.5, FixedSize(5000))])
+        sizes = {model.size_of(f"k{i}") for i in range(200)}
+        assert sizes == {50, 5000}
+
+    def test_invalid_models(self):
+        with pytest.raises(ConfigurationError):
+            FixedSize(0)
+        with pytest.raises(ConfigurationError):
+            UniformSize(10, 5)
+        with pytest.raises(ConfigurationError):
+            MixtureSize([])
+
+
+class TestStreams:
+    def test_zipf_stream_shape(self):
+        stream = ZipfStream("app", 100, 1.0, FixedSize(64), seed=1)
+        requests = list(stream.generate(500, duration=100.0))
+        assert len(requests) == 500
+        assert all(r.op == "get" for r in requests)
+        times = [r.time for r in requests]
+        assert times == sorted(times)
+        assert times[-1] < 100.0
+
+    def test_zipf_stream_set_fraction(self):
+        stream = ZipfStream(
+            "app", 100, 1.0, FixedSize(64), set_fraction=0.5, seed=1
+        )
+        ops = [r.op for r in stream.generate(2000, 10.0)]
+        sets = ops.count("set")
+        assert 800 < sets < 1200
+
+    def test_scan_stream_cycles(self):
+        stream = ScanStream("app", 5, FixedSize(64))
+        keys = [r.key for r in stream.generate(12, 10.0)]
+        assert keys[0] == keys[5] == keys[10]
+
+    def test_reuse_stream_produces_sigmoid_curve(self):
+        stream = ReuseDistanceStream(
+            "app", 300, 60, FixedSize(64), refs_per_key=9, seed=2
+        )
+        profiler = StackDistanceProfiler()
+        for r in stream.generate(40000, 100.0):
+            profiler.record(r.key)
+        curve = HitRateCurve.from_stack_distances(profiler.distances)
+        # plateau near refs/(refs+1)
+        assert curve.hit_rates[-1] == pytest.approx(0.9, abs=0.05)
+        # flat well below the mean, steep at it
+        assert curve.hit_rate(100) < 0.05
+        assert curve.cliffs(tolerance=0.02), "no cliff detected"
+
+    def test_mixture_respects_phases(self):
+        always = Component(
+            ZipfStream("a", 10, 1.0, FixedSize(64), namespace="x", seed=1),
+            weight=1.0,
+        )
+        burst = Component(
+            ZipfStream("a", 10, 1.0, FixedSize(64), namespace="y", seed=2),
+            weight=0.02,
+            phases=(Phase(0.5, 1.0, 100.0),),
+        )
+        stream = MixtureStream("a", [always, burst], seed=3)
+        requests = list(stream.generate(2000, 100.0))
+        first_half = [r for r in requests[:1000] if ":y:" in r.key]
+        second_half = [r for r in requests[1000:] if ":y:" in r.key]
+        assert len(second_half) > 5 * max(1, len(first_half))
+
+    def test_phase_validation(self):
+        with pytest.raises(ConfigurationError):
+            Phase(0.8, 0.2, 1.0)
+
+
+class TestFacebookStreams:
+    def test_etc_mix(self):
+        stream = FacebookETCStream(num_keys=1000, seed=1)
+        ops = [r.op for r in stream.generate(5000, 10.0)]
+        get_fraction = ops.count("get") / len(ops)
+        assert get_fraction == pytest.approx(FACEBOOK_GET_FRACTION, abs=0.02)
+
+    def test_unique_keys_always_miss(self):
+        stream = UniqueKeyStream(seed=1)
+        keys = [r.key for r in stream.generate(1000, 10.0)]
+        assert len(set(keys)) == 1000
+
+    def test_etc_key_sizes_in_range(self):
+        stream = FacebookETCStream(num_keys=100, seed=1)
+        for r in take(stream.generate(200, 10.0), 200):
+            assert 16 <= r.key_size <= 45
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path):
+        requests = [
+            Request(0.0, "a", "k1", "get", 100),
+            Request(1.0, "a", "k2", "set", 200, key_size=5),
+        ]
+        path = tmp_path / "trace.jsonl"
+        assert save_jsonl(requests, path) == 2
+        loaded = list(load_jsonl(path))
+        assert loaded == requests
+
+    def test_bad_record_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"nope": 1}\n')
+        with pytest.raises(TraceFormatError, match="bad.jsonl:1"):
+            list(load_jsonl(path))
+
+    def test_invalid_op_rejected(self):
+        with pytest.raises(TraceFormatError):
+            Request(0.0, "a", "k", "frobnicate", 10)
+
+    def test_merge_by_time(self):
+        a = [Request(t, "a", f"a{t}", "get", 1) for t in (0.0, 2.0, 4.0)]
+        b = [Request(t, "b", f"b{t}", "get", 1) for t in (1.0, 3.0)]
+        merged = list(merge_by_time([a, b]))
+        assert [r.time for r in merged] == [0.0, 1.0, 2.0, 3.0, 4.0]
