@@ -68,3 +68,51 @@ def test_throughput_stack_distance_profiler(benchmark):
         return profiler
 
     benchmark.pedantic(profile, iterations=1, rounds=3)
+
+
+def _zipf_keys_50k():
+    """A 50k-request Zipf stream for the stack-distance micro-benchmark."""
+    import numpy as np
+
+    from repro.workloads.zipf import ZipfSampler
+
+    sampler = ZipfSampler(4000, 1.0, rng=np.random.default_rng(42))
+    return [f"z{rank}" for rank in sampler.sample(50_000)]
+
+
+def test_stack_distance_fenwick_50k_zipf(benchmark):
+    """O(N log N) profiler on the 50k Zipf stream (compare with the
+    naive benchmark below -- the Fenwick profiler should win by orders
+    of magnitude)."""
+    from repro.profiling.stack_distance import StackDistanceProfiler
+
+    keys = _zipf_keys_50k()
+
+    def profile():
+        profiler = StackDistanceProfiler()
+        record = profiler.record
+        for key in keys:
+            record(key)
+        return profiler.distances
+
+    distances = benchmark.pedantic(profile, iterations=1, rounds=3)
+    assert len(distances) == len(keys)
+
+
+def test_stack_distance_naive_50k_zipf(benchmark):
+    """O(N^2) oracle on the same 50k Zipf stream, plus an equality check
+    of the two implementations on a prefix."""
+    from repro.profiling.stack_distance import (
+        StackDistanceProfiler,
+        naive_stack_distances,
+    )
+
+    keys = _zipf_keys_50k()
+    distances = benchmark.pedantic(
+        lambda: naive_stack_distances(keys), iterations=1, rounds=1
+    )
+    prefix = 5_000
+    fast = StackDistanceProfiler().record_all(keys[:prefix])
+    assert [
+        None if d is None else float(d) for d in distances[:prefix]
+    ] == fast

@@ -24,16 +24,30 @@ from typing import Dict, List, Optional, Tuple
 from repro.common.errors import CacheError, ConfigurationError
 from repro.cache.policies import EvictionPolicy, make_policy
 from repro.cache.slabs import SlabGeometry
-from repro.cache.stats import AccessOutcome, OpCounter
+from repro.cache.stats import (
+    CLASS_SHIFT,
+    EVICTED_SHIFT,
+    OP_CODES,
+    OP_DELETE,
+    OP_GET,
+    OP_SET,
+    OUTCOME_HIT,
+    OUTCOME_SHADOW_HIT,
+    AccessOutcome,
+    OpCounter,
+    unpack_slab_class,
+)
 from repro.workloads.trace import Request
 
 
 class Engine(abc.ABC):
     """Base class: one tenant's memory manager.
 
-    Subclasses must implement :meth:`process`, returning an
-    :class:`AccessOutcome` per request, and expose per-class capacities for
-    the timeline experiments. Budgets are bytes.
+    Subclasses implement :meth:`process_fast` -- the allocation-free hot
+    path taking pre-classified integer arguments and returning a packed
+    outcome code -- and expose per-class capacities for the timeline
+    experiments. :meth:`process` wraps the fast path in the
+    :class:`Request`/:class:`AccessOutcome` object API. Budgets are bytes.
     """
 
     def __init__(
@@ -58,9 +72,39 @@ class Engine(abc.ABC):
 
     # ------------------------------------------------------------------
 
-    @abc.abstractmethod
     def process(self, request: Request) -> AccessOutcome:
-        """Apply one request and report its outcome."""
+        """Apply one request and report its outcome (object API)."""
+        class_index, chunk = self._chunk_and_class(request)
+        code = self.process_fast(
+            request.key,
+            OP_CODES[request.op],
+            class_index,
+            chunk,
+            request.key_size + request.value_size,
+        )
+        return AccessOutcome(
+            hit=bool(code & OUTCOME_HIT),
+            app=self.app,
+            op=request.op,
+            slab_class=unpack_slab_class(code),
+            shadow_hit=bool(code & OUTCOME_SHADOW_HIT),
+            evicted=code >> EVICTED_SHIFT,
+        )
+
+    @abc.abstractmethod
+    def process_fast(
+        self, key: object, op: int, class_index: int, chunk: int,
+        item_bytes: int,
+    ) -> int:
+        """Apply one pre-classified request; return a packed outcome code.
+
+        ``op`` is an integer op code (:data:`repro.cache.stats.OP_GET`
+        etc.), ``class_index``/``chunk`` the precomputed slab class and
+        chunk size, ``item_bytes`` the key+value byte size (used by
+        engines without chunk rounding). The return value packs hit /
+        shadow-hit flags, the slab class charged for statistics and the
+        eviction count (see :func:`repro.cache.stats.pack_outcome`).
+        """
 
     @abc.abstractmethod
     def capacities(self) -> Dict[int, float]:
@@ -125,6 +169,10 @@ class SlabEngineBase(Engine):
         self.policy_kind = policy
         self.queues: Dict[int, EvictionPolicy] = {}
         self._class_of_key: Dict[str, int] = {}
+        #: Incrementally tracked sum of queue capacities -- every queue
+        #: resize must go through :meth:`_resize_queue` so the insert hot
+        #: path never re-scans the queues.
+        self._capacity_total = 0.0
 
     # -- queue management ------------------------------------------------
 
@@ -136,6 +184,13 @@ class SlabEngineBase(Engine):
             )
             self.queues[class_index] = queue
         return queue
+
+    def _resize_queue(
+        self, queue: EvictionPolicy, capacity: float
+    ) -> List[Tuple[object, float]]:
+        """Resize ``queue`` keeping the tracked capacity total in sync."""
+        self._capacity_total += float(capacity) - queue.capacity
+        return queue.resize(capacity)
 
     def capacities(self) -> Dict[int, float]:
         return {
@@ -153,67 +208,52 @@ class SlabEngineBase(Engine):
 
     # -- request handling --------------------------------------------------
 
-    def process(self, request: Request) -> AccessOutcome:
-        class_index, chunk = self._chunk_and_class(request)
-        if request.op == "delete":
-            return self._delete(request, class_index)
-        if request.op == "set":
-            evicted = self._store(request, class_index, chunk)
-            return AccessOutcome(
-                hit=False,
-                app=self.app,
-                op="set",
-                slab_class=class_index,
-                evicted=evicted,
+    def process_fast(
+        self, key: object, op: int, class_index: int, chunk: int,
+        item_bytes: int,
+    ) -> int:
+        if op == OP_GET:
+            self.ops.hash_lookups += 1
+            resident_class = self._class_of_key.get(key)
+            if resident_class is not None and self._queue(
+                resident_class
+            ).access(key):
+                self.ops.promotes += 1
+                return ((resident_class + 1) << CLASS_SHIFT) | OUTCOME_HIT
+            evicted = (
+                self._store(key, class_index, chunk)
+                if self.fill_on_miss
+                else 0
             )
-        # GET path.
-        self.ops.hash_lookups += 1
-        resident_class = self._class_of_key.get(request.key)
-        if resident_class is not None and self._queue(resident_class).access(
-            request.key
-        ):
-            self.ops.promotes += 1
-            return AccessOutcome(
-                hit=True, app=self.app, op="get", slab_class=resident_class
+            return (evicted << EVICTED_SHIFT) | (
+                (class_index + 1) << CLASS_SHIFT
             )
-        evicted = (
-            self._store(request, class_index, chunk)
-            if self.fill_on_miss
-            else 0
-        )
-        return AccessOutcome(
-            hit=False,
-            app=self.app,
-            op="get",
-            slab_class=class_index,
-            evicted=evicted,
-        )
-
-    def _delete(self, request: Request, class_index: int) -> AccessOutcome:
+        if op == OP_SET:
+            evicted = self._store(key, class_index, chunk)
+            return (evicted << EVICTED_SHIFT) | (
+                (class_index + 1) << CLASS_SHIFT
+            )
+        # DELETE path.
         self.ops.hash_lookups += 1
-        resident_class = self._class_of_key.pop(request.key, None)
+        resident_class = self._class_of_key.pop(key, None)
         if resident_class is not None:
-            self._queue(resident_class).remove(request.key)
-        return AccessOutcome(
-            hit=resident_class is not None,
-            app=self.app,
-            op="delete",
-            slab_class=class_index,
-        )
+            self._queue(resident_class).remove(key)
+        code = (class_index + 1) << CLASS_SHIFT
+        return code | OUTCOME_HIT if resident_class is not None else code
 
-    def _store(self, request: Request, class_index: int, chunk: int) -> int:
+    def _store(self, key: object, class_index: int, chunk: int) -> int:
         """Insert the item, handling class migration. Returns evictions."""
-        old_class = self._class_of_key.get(request.key)
+        old_class = self._class_of_key.get(key)
         if old_class is not None and old_class != class_index:
-            self._queue(old_class).remove(request.key)
-            del self._class_of_key[request.key]
-        evicted = self._insert(request, class_index, chunk)
-        self._class_of_key[request.key] = class_index
+            self._queue(old_class).remove(key)
+            del self._class_of_key[key]
+        evicted = self._insert(key, class_index, chunk)
+        self._class_of_key[key] = class_index
         self.ops.inserts += 1
         return evicted
 
     @abc.abstractmethod
-    def _insert(self, request: Request, class_index: int, chunk: int) -> int:
+    def _insert(self, key: object, class_index: int, chunk: int) -> int:
         """Engine-specific insertion; returns number of evictions."""
 
 
@@ -231,15 +271,14 @@ class FirstComeFirstServeEngine(SlabEngineBase):
     not to whoever benefits.
     """
 
-    def _insert(self, request: Request, class_index: int, chunk: int) -> int:
+    def _insert(self, key: object, class_index: int, chunk: int) -> int:
         queue = self._queue(class_index)
-        total_capacity = sum(q.capacity for q in self.queues.values())
         if queue.used + chunk > queue.capacity:
-            if total_capacity + chunk <= self.budget_bytes:
-                queue.resize(queue.capacity + chunk)
+            if self._capacity_total + chunk <= self.budget_bytes:
+                self._resize_queue(queue, queue.capacity + chunk)
             elif queue.capacity < chunk:
                 self._steal_chunk_for(class_index, chunk)
-        evicted = queue.insert(request.key, chunk)
+        evicted = queue.insert(key, chunk)
         return self._forget_evicted(evicted)
 
     def _steal_chunk_for(self, class_index: int, chunk: int) -> None:
@@ -252,15 +291,16 @@ class FirstComeFirstServeEngine(SlabEngineBase):
             return
         _, donor_idx = max(donors)
         donor = self.queues[donor_idx]
-        self._forget_evicted(donor.resize(donor.capacity - chunk))
+        self._forget_evicted(self._resize_queue(donor, donor.capacity - chunk))
         grown = self.queues[class_index]
-        grown.resize(grown.capacity + chunk)
+        self._resize_queue(grown, grown.capacity + chunk)
 
     def _enforce_budget(self) -> int:
+        # Cold path (budget shrinks): re-sync the tracked total so float
+        # drift can never accumulate into the hot-path comparisons.
+        self._capacity_total = sum(q.capacity for q in self.queues.values())
         evicted_total = 0
-        while (
-            sum(q.capacity for q in self.queues.values()) > self.budget_bytes
-        ):
+        while self._capacity_total > self.budget_bytes:
             donors = [
                 (queue.capacity, idx)
                 for idx, queue in self.queues.items()
@@ -273,7 +313,7 @@ class FirstComeFirstServeEngine(SlabEngineBase):
             chunk = self.geometry.chunk_size(idx)
             shrink = min(chunk, capacity)
             evicted_total += self._forget_evicted(
-                queue.resize(capacity - shrink)
+                self._resize_queue(queue, capacity - shrink)
             )
         return evicted_total
 
@@ -311,24 +351,25 @@ class PlannedEngine(SlabEngineBase):
                 raise ConfigurationError(
                     f"negative capacity for class {class_index}"
                 )
-            self._queue(class_index).resize(capacity)
+            self._resize_queue(self._queue(class_index), capacity)
 
-    def _insert(self, request: Request, class_index: int, chunk: int) -> int:
+    def _insert(self, key: object, class_index: int, chunk: int) -> int:
         queue = self._queue(class_index)
         if queue.capacity < chunk:
             return 0  # class starved by the plan: bypass the cache
-        evicted = queue.insert(request.key, chunk)
+        evicted = queue.insert(key, chunk)
         return self._forget_evicted(evicted)
 
     def _enforce_budget(self) -> int:
         # Static plans shrink proportionally when the budget shrinks.
         total = sum(q.capacity for q in self.queues.values())
+        self._capacity_total = total
         if total <= self.budget_bytes or total == 0:
             return 0
         scale = self.budget_bytes / total
         evicted = 0
         for queue in self.queues.values():
             evicted += self._forget_evicted(
-                queue.resize(queue.capacity * scale)
+                self._resize_queue(queue, queue.capacity * scale)
             )
         return evicted

@@ -14,8 +14,13 @@ from typing import Dict
 from repro.cache.engines import Engine
 from repro.cache.policies import EvictionPolicy, make_policy
 from repro.cache.slabs import SlabGeometry
-from repro.cache.stats import AccessOutcome
-from repro.workloads.trace import Request
+from repro.cache.stats import (
+    CLASS_SHIFT,
+    EVICTED_SHIFT,
+    OP_GET,
+    OP_SET,
+    OUTCOME_HIT,
+)
 
 
 class GlobalLRUEngine(Engine):
@@ -60,39 +65,26 @@ class GlobalLRUEngine(Engine):
 
     # ------------------------------------------------------------------
 
-    def process(self, request: Request) -> AccessOutcome:
-        class_index, _ = self._chunk_and_class(request)
-        item_bytes = request.key_size + request.value_size
-        if request.op == "delete":
+    def process_fast(
+        self, key: object, op: int, class_index: int, chunk: int,
+        item_bytes: int,
+    ) -> int:
+        class_code = (class_index + 1) << CLASS_SHIFT
+        if op == OP_GET:
             self.ops.hash_lookups += 1
-            present = self.queue.remove(request.key)
-            return AccessOutcome(
-                hit=present, app=self.app, op="delete", slab_class=class_index
-            )
-        if request.op == "set":
-            evicted = self.queue.insert(request.key, item_bytes)
+            if self.queue.access(key):
+                self.ops.promotes += 1
+                return class_code | OUTCOME_HIT
+            evicted = len(self.queue.insert(key, item_bytes))
             self.ops.inserts += 1
-            self.ops.evictions += len(evicted)
-            return AccessOutcome(
-                hit=False,
-                app=self.app,
-                op="set",
-                slab_class=class_index,
-                evicted=len(evicted),
-            )
+            self.ops.evictions += evicted
+            return (evicted << EVICTED_SHIFT) | class_code
+        if op == OP_SET:
+            evicted = len(self.queue.insert(key, item_bytes))
+            self.ops.inserts += 1
+            self.ops.evictions += evicted
+            return (evicted << EVICTED_SHIFT) | class_code
+        # DELETE path.
         self.ops.hash_lookups += 1
-        if self.queue.access(request.key):
-            self.ops.promotes += 1
-            return AccessOutcome(
-                hit=True, app=self.app, op="get", slab_class=class_index
-            )
-        evicted = self.queue.insert(request.key, item_bytes)
-        self.ops.inserts += 1
-        self.ops.evictions += len(evicted)
-        return AccessOutcome(
-            hit=False,
-            app=self.app,
-            op="get",
-            slab_class=class_index,
-            evicted=len(evicted),
-        )
+        present = self.queue.remove(key)
+        return class_code | OUTCOME_HIT if present else class_code

@@ -66,6 +66,47 @@ class CacheServer:
             process(request)
         return self.stats
 
+    def replay_compiled(self, trace) -> StatsRegistry:
+        """Replay a :class:`~repro.workloads.compiled.CompiledTrace`.
+
+        The allocation-free hot path: per request, one engine dispatch on
+        a precomputed app id, one :meth:`Engine.process_fast` call with
+        integer arguments, and one packed-code stats update. Per-request
+        observers need :class:`Request`/:class:`AccessOutcome` objects, so
+        their presence falls back to the object path (same results).
+        """
+        if self._observers:
+            return self.replay(trace.iter_requests())
+        if trace.geometry.chunk_sizes != self.geometry.chunk_sizes:
+            raise ConfigurationError(
+                "compiled trace was built for a different slab geometry "
+                f"({trace.geometry.chunk_sizes} vs "
+                f"{self.geometry.chunk_sizes}); recompile it"
+            )
+        # Unregistered apps only raise when a request for them appears,
+        # matching :meth:`process`.
+        engine_of_app = [self.engines.get(name) for name in trace.app_table]
+        record = self.stats.record_code
+        for app_id, key, op, class_index, chunk, item_bytes in zip(
+            trace.app_ids,
+            trace.keys,
+            trace.op_codes,
+            trace.slab_classes,
+            trace.chunk_bytes,
+            trace.item_bytes,
+        ):
+            engine = engine_of_app[app_id]
+            if engine is None:
+                raise ConfigurationError(
+                    f"request for unknown app {trace.app_table[app_id]!r}"
+                )
+            record(
+                engine.app,
+                op,
+                engine.process_fast(key, op, class_index, chunk, item_bytes),
+            )
+        return self.stats
+
     # ------------------------------------------------------------------
 
     def total_ops(self) -> OpCounter:

@@ -1,16 +1,62 @@
 """Hit/miss accounting and time-series recording.
 
-Every engine reports each request's outcome as an :class:`AccessOutcome`;
-experiment harnesses aggregate them in :class:`HitMissCounter` objects keyed
-by (application, slab class). :class:`TimelineRecorder` samples arbitrary
-scalar series over (simulated) time -- it produces Figure 8 (memory per slab
-over time) and Figure 9 (hit rate over time).
+The *fast* replay path reports each request's outcome as a packed integer
+code (see :func:`pack_outcome`) so the hot loop never allocates;
+:class:`AccessOutcome` remains as the object API for observers, tests and
+one-off calls. Experiment harnesses aggregate outcomes in
+:class:`HitMissCounter` objects keyed by (application, slab class).
+:class:`TimelineRecorder` samples arbitrary scalar series over (simulated)
+time -- it produces Figure 8 (memory per slab over time) and Figure 9 (hit
+rate over time).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
+
+# ---------------------------------------------------------------------------
+# Integer op and outcome codes (the allocation-free replay protocol)
+# ---------------------------------------------------------------------------
+
+#: Operation codes, aligned with ``repro.workloads.trace.OPS`` order.
+OP_GET = 0
+OP_SET = 1
+OP_DELETE = 2
+OP_CODES: Dict[str, int] = {"get": OP_GET, "set": OP_SET, "delete": OP_DELETE}
+OP_NAMES: Tuple[str, ...] = ("get", "set", "delete")
+
+#: Outcome codes pack (hit, shadow_hit, slab_class, evicted) into one int:
+#: bit 0 = hit, bit 1 = shadow hit, bits 2-8 = slab class + 1 (0 means
+#: "no slab class"), bits 9+ = eviction count.
+OUTCOME_HIT = 1
+OUTCOME_SHADOW_HIT = 2
+CLASS_SHIFT = 2
+CLASS_MASK = 0x7F
+EVICTED_SHIFT = 9
+
+
+def pack_outcome(
+    hit: bool,
+    slab_class: Optional[int] = None,
+    shadow_hit: bool = False,
+    evicted: int = 0,
+) -> int:
+    """Pack an outcome into the integer code the fast path uses."""
+    code = (evicted << EVICTED_SHIFT) | (
+        ((slab_class + 1) if slab_class is not None else 0) << CLASS_SHIFT
+    )
+    if hit:
+        code |= OUTCOME_HIT
+    if shadow_hit:
+        code |= OUTCOME_SHADOW_HIT
+    return code
+
+
+def unpack_slab_class(code: int) -> Optional[int]:
+    """Slab class encoded in ``code`` (None when absent)."""
+    packed = (code >> CLASS_SHIFT) & CLASS_MASK
+    return packed - 1 if packed else None
 
 
 @dataclass(frozen=True)
@@ -68,6 +114,19 @@ class HitMissCounter:
             self.shadow_hits += 1
         self.evictions += outcome.evicted
 
+    def record_code(self, op: int, code: int) -> None:
+        """Record a packed outcome code (allocation-free replay path)."""
+        if op == OP_GET:
+            if code & OUTCOME_HIT:
+                self.get_hits += 1
+            else:
+                self.get_misses += 1
+        elif op == OP_SET:
+            self.sets += 1
+        if code & OUTCOME_SHADOW_HIT:
+            self.shadow_hits += 1
+        self.evictions += code >> EVICTED_SHIFT
+
     def merge(self, other: "HitMissCounter") -> None:
         self.get_hits += other.get_hits
         self.get_misses += other.get_misses
@@ -104,6 +163,11 @@ class StatsRegistry:
         self.total = HitMissCounter()
         self.by_app: Dict[str, HitMissCounter] = {}
         self.by_app_class: Dict[Tuple[str, Optional[int]], HitMissCounter] = {}
+        # (app, slab_class) -> (total, app, class) counter triple; resolved
+        # once so the per-request fast path is a dict hit plus int adds.
+        self._triples: Dict[
+            Tuple[str, Optional[int]], Tuple[HitMissCounter, ...]
+        ] = {}
 
     def record(self, outcome: AccessOutcome) -> None:
         self.total.record(outcome)
@@ -116,6 +180,43 @@ class StatsRegistry:
         if class_counter is None:
             class_counter = self.by_app_class.setdefault(key, HitMissCounter())
         class_counter.record(outcome)
+
+    def record_code(self, app: str, op: int, code: int) -> None:
+        """Record a packed outcome code for ``app`` (fast replay path)."""
+        slab = (code >> CLASS_SHIFT) & CLASS_MASK
+        key = (app, slab - 1 if slab else None)
+        triple = self._triples.get(key)
+        if triple is None:
+            triple = self._make_triple(key)
+        evicted = code >> EVICTED_SHIFT
+        if op == OP_GET:
+            if code & OUTCOME_HIT:
+                for counter in triple:
+                    counter.get_hits += 1
+            else:
+                for counter in triple:
+                    counter.get_misses += 1
+        elif op == OP_SET:
+            for counter in triple:
+                counter.sets += 1
+        if code & OUTCOME_SHADOW_HIT:
+            for counter in triple:
+                counter.shadow_hits += 1
+        if evicted:
+            for counter in triple:
+                counter.evictions += evicted
+
+    def _make_triple(self, key: Tuple[str, Optional[int]]):
+        app = key[0]
+        app_counter = self.by_app.get(app)
+        if app_counter is None:
+            app_counter = self.by_app.setdefault(app, HitMissCounter())
+        class_counter = self.by_app_class.get(key)
+        if class_counter is None:
+            class_counter = self.by_app_class.setdefault(key, HitMissCounter())
+        triple = (self.total, app_counter, class_counter)
+        self._triples[key] = triple
+        return triple
 
     def app_hit_rate(self, app: str) -> float:
         counter = self.by_app.get(app)

@@ -39,11 +39,17 @@ from repro.common.constants import (
 from repro.cache.engines import Engine
 from repro.cache.policies import make_policy
 from repro.cache.slabs import SlabGeometry
-from repro.cache.stats import AccessOutcome
+from repro.cache.stats import (
+    CLASS_SHIFT,
+    EVICTED_SHIFT,
+    OP_GET,
+    OP_SET,
+    OUTCOME_HIT,
+    OUTCOME_SHADOW_HIT,
+)
 from repro.core.cliff_scaling import CliffConfig, CliffhangerQueue
 from repro.core.hill_climbing import HillClimber
 from repro.core.managed import ShadowedQueue
-from repro.workloads.trace import Request
 
 
 class HillClimbEngine(Engine):
@@ -135,51 +141,33 @@ class HillClimbEngine(Engine):
         self.ops.shadow_inserts += evicted  # evictions land in the shadow
         return evicted
 
-    def process(self, request: Request) -> AccessOutcome:
-        class_index, chunk = self._chunk_and_class(request)
+    def process_fast(
+        self, key: object, op: int, class_index: int, chunk: int,
+        item_bytes: int,
+    ) -> int:
         queue = self._queue(class_index)
-        if request.op == "delete":
+        class_code = (class_index + 1) << CLASS_SHIFT
+        if op == OP_GET:
             self.ops.hash_lookups += 1
-            present = queue.remove(request.key)
-            return AccessOutcome(
-                hit=present,
-                app=self.app,
-                op="delete",
-                slab_class=class_index,
-            )
-        if request.op == "set":
-            evicted = self._fill(queue, request.key, chunk)
-            return AccessOutcome(
-                hit=False,
-                app=self.app,
-                op="set",
-                slab_class=class_index,
-                evicted=evicted,
-            )
+            result = queue.access(key)
+            if result == ShadowedQueue.HIT:
+                self.ops.promotes += 1
+                return class_code | OUTCOME_HIT
+            self.ops.shadow_lookups += 1
+            code = class_code
+            if result == ShadowedQueue.SHADOW_HIT:
+                code |= OUTCOME_SHADOW_HIT
+                self.climber.on_shadow_hit(class_index)
+            if self.fill_on_miss:
+                code |= self._fill(queue, key, chunk) << EVICTED_SHIFT
+            return code
+        if op == OP_SET:
+            evicted = self._fill(queue, key, chunk)
+            return (evicted << EVICTED_SHIFT) | class_code
+        # DELETE path.
         self.ops.hash_lookups += 1
-        result = queue.access(request.key)
-        if result == ShadowedQueue.HIT:
-            self.ops.promotes += 1
-            return AccessOutcome(
-                hit=True, app=self.app, op="get", slab_class=class_index
-            )
-        self.ops.shadow_lookups += 1
-        shadow_hit = result == ShadowedQueue.SHADOW_HIT
-        if shadow_hit:
-            self.climber.on_shadow_hit(class_index)
-        evicted = (
-            self._fill(queue, request.key, chunk)
-            if self.fill_on_miss
-            else 0
-        )
-        return AccessOutcome(
-            hit=False,
-            app=self.app,
-            op="get",
-            slab_class=class_index,
-            shadow_hit=shadow_hit,
-            evicted=evicted,
-        )
+        present = queue.remove(key)
+        return class_code | OUTCOME_HIT if present else class_code
 
     # ------------------------------------------------------------------
 
@@ -306,51 +294,35 @@ class CliffhangerEngine(Engine):
         self.ops.shadow_inserts += evicted
         return evicted
 
-    def process(self, request: Request) -> AccessOutcome:
-        class_index, chunk = self._chunk_and_class(request)
+    def process_fast(
+        self, key: object, op: int, class_index: int, chunk: int,
+        item_bytes: int,
+    ) -> int:
         queue = self._queue(class_index)
         self.ops.routes += 1  # left/right partition routing
-        if request.op == "delete":
+        class_code = (class_index + 1) << CLASS_SHIFT
+        if op == OP_GET:
             self.ops.hash_lookups += 1
-            present = queue.remove(request.key)
-            return AccessOutcome(
-                hit=present,
-                app=self.app,
-                op="delete",
-                slab_class=class_index,
-            )
-        if request.op == "set":
-            evicted = self._fill(queue, request.key, chunk)
-            return AccessOutcome(
-                hit=False,
-                app=self.app,
-                op="set",
-                slab_class=class_index,
-                evicted=evicted,
-            )
+            result = queue.access(key)
+            if result.hit:
+                self.ops.promotes += 1
+                return class_code | OUTCOME_HIT
+            self.ops.shadow_lookups += 1
+            code = class_code
+            if result.hill_hit:
+                code |= OUTCOME_SHADOW_HIT
+                if self.enable_hill_climbing:
+                    self.climber.on_shadow_hit(class_index)
+            if self.fill_on_miss:
+                code |= self._fill(queue, key, chunk) << EVICTED_SHIFT
+            return code
+        if op == OP_SET:
+            evicted = self._fill(queue, key, chunk)
+            return (evicted << EVICTED_SHIFT) | class_code
+        # DELETE path.
         self.ops.hash_lookups += 1
-        result = queue.access(request.key)
-        if result.hit:
-            self.ops.promotes += 1
-            return AccessOutcome(
-                hit=True, app=self.app, op="get", slab_class=class_index
-            )
-        self.ops.shadow_lookups += 1
-        if result.hill_hit and self.enable_hill_climbing:
-            self.climber.on_shadow_hit(class_index)
-        evicted = (
-            self._fill(queue, request.key, chunk)
-            if self.fill_on_miss
-            else 0
-        )
-        return AccessOutcome(
-            hit=False,
-            app=self.app,
-            op="get",
-            slab_class=class_index,
-            shadow_hit=result.hill_hit,
-            evicted=evicted,
-        )
+        present = queue.remove(key)
+        return class_code | OUTCOME_HIT if present else class_code
 
     # ------------------------------------------------------------------
 

@@ -11,7 +11,16 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.allocation.dynacache import DynacacheSolver
 from repro.allocation.lookahead import LookAheadAllocator
@@ -27,10 +36,12 @@ from repro.cache.slabs import SlabGeometry
 from repro.cache.stats import StatsRegistry
 from repro.common.errors import ConfigurationError
 from repro.core.engine import CliffhangerEngine, HillClimbEngine
+from repro.cache.stats import OP_GET
 from repro.profiling.hrc import HitRateCurve
 from repro.profiling.mimir import MimirProfiler
 from repro.profiling.stack_distance import StackDistanceProfiler
-from repro.workloads.memcachier import MemcachierTrace
+from repro.workloads.compiled import GLOBAL_TRACE_CACHE, CompiledTrace
+from repro.workloads.memcachier import MemcachierTrace, build_memcachier_trace
 from repro.workloads.trace import Request
 
 GEOMETRY = SlabGeometry.default()
@@ -38,6 +49,83 @@ GEOMETRY = SlabGeometry.default()
 #: Default trace scale for full runs and for the pytest benchmarks.
 FULL_SCALE = 0.25
 BENCH_SCALE = 0.03
+
+
+# ---------------------------------------------------------------------------
+# Cached, compiled traces
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CachedTrace:
+    """A :class:`MemcachierTrace`-compatible facade over a compiled trace.
+
+    Metadata (reservations, request counts, specs) comes from the cheap
+    analytic build; the request stream itself is a cached
+    :class:`CompiledTrace`, so repeated experiment runs -- and the ~17
+    runners sharing a scale/seed -- never regenerate it.
+    """
+
+    meta: MemcachierTrace
+    compiled: CompiledTrace
+
+    @property
+    def scale(self) -> float:
+        return self.meta.scale
+
+    @property
+    def seed(self) -> int:
+        return self.meta.seed
+
+    @property
+    def total_requests(self) -> int:
+        return self.meta.total_requests
+
+    @property
+    def reservations(self) -> Dict[str, float]:
+        return self.meta.reservations
+
+    @property
+    def requests_per_app(self) -> Dict[str, int]:
+        return self.meta.requests_per_app
+
+    @property
+    def specs(self):
+        return self.meta.specs
+
+    @property
+    def app_names(self) -> List[str]:
+        return self.meta.app_names
+
+    def requests(self):
+        return self.compiled.iter_requests()
+
+    def app_requests(self, app: str):
+        return self.compiled_for(app).iter_requests()
+
+    def compiled_for(self, app: str) -> CompiledTrace:
+        """One app's compiled sub-trace (stable-merge filtering keeps the
+        per-app order identical to regenerating the app's stream)."""
+        return self.compiled.for_app(app)
+
+
+def load_trace(
+    scale: float = FULL_SCALE,
+    seed: int = 0,
+    apps: Optional[List[int]] = None,
+    total_requests: Optional[int] = None,
+) -> CachedTrace:
+    """Build (or fetch from cache) a compiled synthetic Memcachier trace."""
+    meta = build_memcachier_trace(
+        scale=scale, seed=seed, apps=apps, total_requests=total_requests
+    )
+    app_part = "all" if apps is None else "-".join(str(a) for a in sorted(apps))
+    key = (
+        f"memcachier-scale{scale!r}-seed{seed}-apps{app_part}"
+        f"-total{total_requests if total_requests is not None else 'auto'}"
+    )
+    compiled = GLOBAL_TRACE_CACHE.get_or_compile(key, meta.requests, GEOMETRY)
+    return CachedTrace(meta, compiled)
 
 
 @dataclass
@@ -249,6 +337,12 @@ def replay_apps(
         )
     if observer is not None:
         server.add_observer(observer)
+    compiled = getattr(trace, "compiled", None)
+    if compiled is not None:
+        if set(chosen) != set(trace.app_names):
+            compiled = compiled.select_apps(chosen)
+        server.replay_compiled(compiled)
+        return server, server.stats
     if set(chosen) == set(trace.app_names):
         stream: Iterable[Request] = trace.requests()
     else:
@@ -287,14 +381,16 @@ def classify(request: Request) -> int:
 
 
 def profile_app_classes(
-    requests: Iterable[Request],
+    requests: Union[Iterable[Request], CompiledTrace],
     estimator: str = "exact",
 ) -> Tuple[Dict[int, HitRateCurve], Dict[int, int]]:
     """Per-slab-class hit-rate curves (size axis: items) and GET counts.
 
-    ``estimator``: ``exact`` uses Mattson stack distances; ``mimir`` the
-    bucket estimator Dynacache really used (coarser, reproducing its
-    estimation error).
+    ``requests`` may be a plain request iterable or a
+    :class:`CompiledTrace` (whose precomputed slab classes skip the
+    per-request :func:`classify` allocation). ``estimator``: ``exact``
+    uses Mattson stack distances; ``mimir`` the bucket estimator Dynacache
+    really used (coarser, reproducing its estimation error).
     """
     if estimator == "exact":
         make = StackDistanceProfiler
@@ -304,15 +400,28 @@ def profile_app_classes(
         raise ConfigurationError(f"unknown estimator {estimator!r}")
     profilers: Dict[int, object] = {}
     frequencies: Dict[int, int] = {}
-    for request in requests:
-        if request.op != "get":
-            continue
-        class_index = classify(request)
-        profiler = profilers.get(class_index)
-        if profiler is None:
-            profiler = profilers.setdefault(class_index, make())
-        profiler.record(request.key)
-        frequencies[class_index] = frequencies.get(class_index, 0) + 1
+    if isinstance(requests, CompiledTrace):
+        trace = requests
+        for key, op, class_index in zip(
+            trace.keys, trace.op_codes, trace.slab_classes
+        ):
+            if op != OP_GET:
+                continue
+            profiler = profilers.get(class_index)
+            if profiler is None:
+                profiler = profilers.setdefault(class_index, make())
+            profiler.record(key)
+            frequencies[class_index] = frequencies.get(class_index, 0) + 1
+    else:
+        for request in requests:
+            if request.op != "get":
+                continue
+            class_index = classify(request)
+            profiler = profilers.get(class_index)
+            if profiler is None:
+                profiler = profilers.setdefault(class_index, make())
+            profiler.record(request.key)
+            frequencies[class_index] = frequencies.get(class_index, 0) + 1
     curves = {
         class_index: HitRateCurve.from_stack_distances(profiler.distances)
         for class_index, profiler in profilers.items()
@@ -331,8 +440,14 @@ def solver_plan_for_app(
 
     Returns a byte plan per slab class, summing to the app's reservation.
     """
+    if isinstance(trace, CachedTrace):
+        app_stream: Union[Iterable[Request], CompiledTrace] = (
+            trace.compiled_for(app)
+        )
+    else:
+        app_stream = trace.app_requests(app)
     curves_items, freqs = profile_app_classes(
-        trace.app_requests(app), estimator=estimator
+        app_stream, estimator=estimator
     )
     if not curves_items:
         return {}

@@ -11,9 +11,9 @@ from __future__ import annotations
 from repro.experiments.common import (
     ExperimentResult,
     FULL_SCALE,
+    load_trace,
     profile_app_classes,
 )
-from repro.workloads.memcachier import build_memcachier_trace
 
 APP = "app03"
 SLAB_CLASS = 9
@@ -21,8 +21,8 @@ SAMPLES = 20
 
 
 def run(scale: float = FULL_SCALE, seed: int = 0) -> ExperimentResult:
-    trace = build_memcachier_trace(scale=scale, seed=seed, apps=[3])
-    curves, frequencies = profile_app_classes(trace.app_requests(APP))
+    trace = load_trace(scale=scale, seed=seed, apps=[3])
+    curves, frequencies = profile_app_classes(trace.compiled_for(APP))
     if SLAB_CLASS in curves:
         class_index = SLAB_CLASS
     else:  # tiny scales can merge the large class; take the largest seen

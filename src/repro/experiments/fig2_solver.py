@@ -18,11 +18,11 @@ from typing import Dict, Optional, Sequence
 from repro.experiments.common import (
     ExperimentResult,
     FULL_SCALE,
+    load_trace,
     miss_reduction,
     replay_apps,
     solver_plan_for_app,
 )
-from repro.workloads.memcachier import build_memcachier_trace
 
 
 def run(
@@ -31,7 +31,7 @@ def run(
     apps: Optional[Sequence[int]] = None,
     estimator: str = "mimir",
 ) -> ExperimentResult:
-    trace = build_memcachier_trace(scale=scale, seed=seed, apps=apps)
+    trace = load_trace(scale=scale, seed=seed, apps=apps)
     names = trace.app_names
     _, default_stats = replay_apps(trace, "default")
     plans: Dict[str, Dict[int, float]] = {

@@ -10,9 +10,9 @@ from __future__ import annotations
 from repro.experiments.common import (
     ExperimentResult,
     FULL_SCALE,
+    load_trace,
     profile_app_classes,
 )
-from repro.workloads.memcachier import build_memcachier_trace
 
 APP = "app11"
 SLAB_CLASS = 6
@@ -20,8 +20,8 @@ SAMPLES = 24
 
 
 def run(scale: float = FULL_SCALE, seed: int = 0) -> ExperimentResult:
-    trace = build_memcachier_trace(scale=scale, seed=seed, apps=[11])
-    curves, frequencies = profile_app_classes(trace.app_requests(APP))
+    trace = load_trace(scale=scale, seed=seed, apps=[11])
+    curves, frequencies = profile_app_classes(trace.compiled_for(APP))
     class_index = SLAB_CLASS if SLAB_CLASS in curves else max(curves)
     curve = curves[class_index]
     sampled = curve.resample(SAMPLES + 1)

@@ -16,9 +16,9 @@ from repro.allocation.talus import compute_ratio, plan_talus_partition
 from repro.experiments.common import (
     ExperimentResult,
     FULL_SCALE,
+    load_trace,
     profile_app_classes,
 )
-from repro.workloads.memcachier import build_memcachier_trace
 
 APP = "app19"
 #: The paper's worked example.
@@ -58,8 +58,8 @@ def run(scale: float = FULL_SCALE, seed: int = 0) -> ExperimentResult:
         ]
     )
     # Part 2: the synthetic Application 19 curve.
-    trace = build_memcachier_trace(scale=scale, seed=seed, apps=[19])
-    curves, _ = profile_app_classes(trace.app_requests(APP))
+    trace = load_trace(scale=scale, seed=seed, apps=[19])
+    curves, _ = profile_app_classes(trace.compiled_for(APP))
     class_index = 0 if 0 in curves else min(curves)
     curve = curves[class_index]
     cliffs = curve.cliffs(tolerance=0.02)

@@ -13,11 +13,11 @@ from typing import Optional, Sequence
 from repro.experiments.common import (
     ExperimentResult,
     FULL_SCALE,
+    load_trace,
     miss_reduction,
     replay_apps,
     solver_plan_for_app,
 )
-from repro.workloads.memcachier import build_memcachier_trace
 
 
 def run(
@@ -25,7 +25,7 @@ def run(
     seed: int = 0,
     apps: Optional[Sequence[int]] = None,
 ) -> ExperimentResult:
-    trace = build_memcachier_trace(scale=scale, seed=seed, apps=apps)
+    trace = load_trace(scale=scale, seed=seed, apps=apps)
     names = trace.app_names
     _, default_stats = replay_apps(trace, "default")
     plans = {app: solver_plan_for_app(trace, app) for app in names}

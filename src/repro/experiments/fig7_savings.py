@@ -15,10 +15,10 @@ from typing import Optional, Sequence
 from repro.experiments.common import (
     ExperimentResult,
     FULL_SCALE,
+    load_trace,
     miss_reduction,
     replay_apps,
 )
-from repro.workloads.memcachier import build_memcachier_trace
 
 #: Memory fractions tried, descending; first failure stops the search.
 FRACTIONS = (0.85, 0.70, 0.55, 0.40, 0.25)
@@ -29,7 +29,7 @@ def run(
     seed: int = 0,
     apps: Optional[Sequence[int]] = None,
 ) -> ExperimentResult:
-    trace = build_memcachier_trace(scale=scale, seed=seed, apps=apps)
+    trace = load_trace(scale=scale, seed=seed, apps=apps)
     names = trace.app_names
     _, default_stats = replay_apps(trace, "default")
     _, cliffhanger_stats = replay_apps(trace, "cliffhanger", seed=seed)

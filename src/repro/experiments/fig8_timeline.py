@@ -15,16 +15,17 @@ from repro.experiments.common import (
     ExperimentResult,
     FULL_SCALE,
     GEOMETRY,
+    load_trace,
     make_engine,
 )
-from repro.workloads.memcachier import WEEK_SECONDS, build_memcachier_trace
+from repro.workloads.memcachier import WEEK_SECONDS
 
 APP = "app05"
 SAMPLES = 24
 
 
 def run(scale: float = FULL_SCALE, seed: int = 0) -> ExperimentResult:
-    trace = build_memcachier_trace(scale=scale, seed=seed, apps=[5])
+    trace = load_trace(scale=scale, seed=seed, apps=[5])
     recorder = TimelineRecorder(interval=WEEK_SECONDS / SAMPLES)
     server = CacheServer(GEOMETRY)
     engine = make_engine(

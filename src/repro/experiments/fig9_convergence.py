@@ -12,14 +12,14 @@ from __future__ import annotations
 
 from repro.cache.server import CacheServer
 from repro.experiments.common import (
+    classify,
     ExperimentResult,
     FULL_SCALE,
     GEOMETRY,
-    classify,
+    load_trace,
     make_engine,
 )
 from repro.experiments.table4_combined import pinned_plan
-from repro.workloads.memcachier import build_memcachier_trace
 
 APP = "app19"
 SLAB_CLASS = 2
@@ -27,7 +27,7 @@ WINDOWS = 30
 
 
 def run(scale: float = FULL_SCALE, seed: int = 0) -> ExperimentResult:
-    trace = build_memcachier_trace(scale=scale, seed=seed, apps=[19])
+    trace = load_trace(scale=scale, seed=seed, apps=[19])
     plan = pinned_plan(trace, APP)
     budget = sum(plan.values())
     server = CacheServer(GEOMETRY)

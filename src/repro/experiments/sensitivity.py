@@ -15,9 +15,9 @@ from __future__ import annotations
 from repro.experiments.common import (
     ExperimentResult,
     FULL_SCALE,
+    load_trace,
     replay_apps,
 )
-from repro.workloads.memcachier import build_memcachier_trace
 
 APP_INDEX = 19
 CREDITS = (1024, 4096, 16384, 131072)
@@ -25,7 +25,7 @@ SHADOWS = (256 << 10, 1 << 20, 4 << 20)
 
 
 def run(scale: float = FULL_SCALE, seed: int = 0) -> ExperimentResult:
-    trace = build_memcachier_trace(scale=scale, seed=seed, apps=[APP_INDEX])
+    trace = load_trace(scale=scale, seed=seed, apps=[APP_INDEX])
     app = trace.app_names[0]
     result = ExperimentResult(
         experiment_id="sensitivity",

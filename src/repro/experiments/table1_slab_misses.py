@@ -13,10 +13,10 @@ from typing import Dict
 from repro.experiments.common import (
     ExperimentResult,
     FULL_SCALE,
+    load_trace,
     replay_apps,
     solver_plan_for_app,
 )
-from repro.workloads.memcachier import build_memcachier_trace
 
 APPS = (4, 6)
 
@@ -37,7 +37,7 @@ def _shares(stats, app: str) -> Dict[int, Dict[str, float]]:
 
 
 def run(scale: float = FULL_SCALE, seed: int = 0) -> ExperimentResult:
-    trace = build_memcachier_trace(scale=scale, seed=seed, apps=list(APPS))
+    trace = load_trace(scale=scale, seed=seed, apps=list(APPS))
     names = trace.app_names
     _, default_stats = replay_apps(trace, "default")
     plans = {app: solver_plan_for_app(trace, app) for app in names}

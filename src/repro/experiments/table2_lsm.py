@@ -13,16 +13,16 @@ from __future__ import annotations
 from repro.experiments.common import (
     ExperimentResult,
     FULL_SCALE,
+    load_trace,
     replay_apps,
     solver_plan_for_app,
 )
-from repro.workloads.memcachier import build_memcachier_trace
 
 APPS = (3, 4, 5)
 
 
 def run(scale: float = FULL_SCALE, seed: int = 0) -> ExperimentResult:
-    trace = build_memcachier_trace(scale=scale, seed=seed, apps=list(APPS))
+    trace = load_trace(scale=scale, seed=seed, apps=list(APPS))
     names = trace.app_names
     _, default_stats = replay_apps(trace, "default")
     _, lsm_stats = replay_apps(trace, "lsm")

@@ -17,11 +17,11 @@ from repro.allocation.dynacache import DynacacheSolver
 from repro.experiments.common import (
     ExperimentResult,
     FULL_SCALE,
+    load_trace,
     replay_apps,
 )
 from repro.profiling.hrc import HitRateCurve
 from repro.profiling.stack_distance import StackDistanceProfiler
-from repro.workloads.memcachier import build_memcachier_trace
 
 APPS = (1, 2, 3, 4, 5)
 
@@ -48,7 +48,7 @@ def _app_byte_curves(trace) -> Dict[str, HitRateCurve]:
 
 
 def run(scale: float = FULL_SCALE, seed: int = 0) -> ExperimentResult:
-    trace = build_memcachier_trace(scale=scale, seed=seed, apps=list(APPS))
+    trace = load_trace(scale=scale, seed=seed, apps=list(APPS))
     names = trace.app_names
     total_memory = sum(trace.reservations[app] for app in names)
 

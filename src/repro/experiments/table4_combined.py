@@ -21,10 +21,10 @@ from repro.experiments.common import (
     ExperimentResult,
     FULL_SCALE,
     GEOMETRY,
+    load_trace,
     profile_app_classes,
     replay_apps,
 )
-from repro.workloads.memcachier import build_memcachier_trace
 
 APP = "app19"
 #: (engine scheme, table column). The "default" column is the pinned
@@ -44,7 +44,7 @@ def pinned_plan(trace, app: str) -> Dict[int, float]:
     Classes without a detected cliff get the size achieving ~90% of
     their plateau (they are not the experiment's subject).
     """
-    curves, _ = profile_app_classes(trace.app_requests(app))
+    curves, _ = profile_app_classes(trace.compiled_for(app))
     plan: Dict[int, float] = {}
     for class_index, curve in curves.items():
         chunk = GEOMETRY.chunk_size(class_index)
@@ -67,7 +67,7 @@ def run(
     scale: float = FULL_SCALE,
     seed: int = 0,
 ) -> ExperimentResult:
-    trace = build_memcachier_trace(scale=scale, seed=seed, apps=[19])
+    trace = load_trace(scale=scale, seed=seed, apps=[19])
     plan = pinned_plan(trace, APP)
     total_budget = sum(plan.values())
     budgets = {APP: total_budget}

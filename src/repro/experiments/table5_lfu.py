@@ -15,15 +15,15 @@ from __future__ import annotations
 from repro.experiments.common import (
     ExperimentResult,
     FULL_SCALE,
+    load_trace,
     replay_apps,
 )
-from repro.workloads.memcachier import build_memcachier_trace
 
 APPS = (3, 4, 5)
 
 
 def run(scale: float = FULL_SCALE, seed: int = 0) -> ExperimentResult:
-    trace = build_memcachier_trace(scale=scale, seed=seed, apps=list(APPS))
+    trace = load_trace(scale=scale, seed=seed, apps=list(APPS))
     names = trace.app_names
     columns = [
         ("lru", "default", {}),

@@ -16,15 +16,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro.cache.engines import Engine, FirstComeFirstServeEngine
 from repro.cache.slabs import SlabGeometry
-from repro.cache.stats import OpCounter
+from repro.cache.stats import OP_GET, OpCounter
 from repro.core.engine import CliffhangerEngine, HillClimbEngine
 from repro.perfmodel.costmodel import CostModel, overhead_percent
+from repro.workloads.compiled import GLOBAL_TRACE_CACHE, CompiledTrace
 from repro.workloads.facebook import UniqueKeyStream, FacebookETCStream
-from repro.workloads.trace import Request
 
 EngineFactory = Callable[[str, float, SlabGeometry], Engine]
 
@@ -52,20 +52,32 @@ class MicroBenchResult:
 
 
 def _replay(
-    engine: Engine, requests: Iterable[Request], warmup: int
+    engine: Engine, trace: CompiledTrace, warmup: int
 ) -> MicroBenchResult:
-    """Warm up (uncounted), then replay counting ops and wall time."""
-    materialized: List[Request] = list(requests)
-    for request in materialized[:warmup]:
-        engine.process(request)
+    """Warm up (uncounted), then replay counting ops and wall time.
+
+    Runs the allocation-free fast path so measured wall times reflect
+    engine work, not ``Request``/``AccessOutcome`` churn.
+    """
+    warm = trace.slice(0, warmup)
+    measured = trace.slice(warmup)
+    process = engine.process_fast
+    for args in zip(
+        warm.keys, warm.op_codes, warm.slab_classes,
+        warm.chunk_bytes, warm.item_bytes,
+    ):
+        process(*args)
     engine.ops = OpCounter()  # discard warmup operation counts
     gets = sets = hits = 0
     started = time.perf_counter()
-    for request in materialized[warmup:]:
-        outcome = engine.process(request)
-        if request.op == "get":
+    for key, op, class_index, chunk, item_bytes in zip(
+        measured.keys, measured.op_codes, measured.slab_classes,
+        measured.chunk_bytes, measured.item_bytes,
+    ):
+        code = process(key, op, class_index, chunk, item_bytes)
+        if op == OP_GET:
             gets += 1
-            hits += 1 if outcome.hit else 0
+            hits += code & 1
         else:
             sets += 1
     wall = time.perf_counter() - started
@@ -76,6 +88,17 @@ def _replay(
         hits=hits,
         ops=engine.ops,
         wall_seconds=wall,
+    )
+
+
+def _compiled_stream(
+    stream, cache_key: str, num_requests: int, geometry: SlabGeometry
+) -> CompiledTrace:
+    """Compile (and cache) a micro-benchmark stream."""
+    return GLOBAL_TRACE_CACHE.get_or_compile(
+        cache_key,
+        lambda: stream.generate(num_requests, 100.0),
+        geometry,
     )
 
 
@@ -129,6 +152,7 @@ def measure_latency_overhead(
         stream = UniqueKeyStream(
             app="micro", get_fraction=get_fraction, seed=seed
         )
+        kind = f"unique-gf{get_fraction!r}"
     else:
         stream = FacebookETCStream(
             app="micro",
@@ -136,17 +160,18 @@ def measure_latency_overhead(
             get_fraction=get_fraction,
             seed=seed,
         )
+        kind = f"etc-k{max(1000, num_requests // 50)}-gf{get_fraction!r}"
     warmup = num_requests // 4
-    requests = list(stream.generate(num_requests + warmup, 100.0))
+    total = num_requests + warmup
+    compiled = _compiled_stream(
+        stream, f"micro-{kind}-seed{seed}-n{total}", total, geometry
+    )
 
     # Split costs by op type: replay GET-only and SET-only variants so
     # per-op overheads are attributable (the aggregate mix would blur
     # them).
-    def only(op: str) -> List[Request]:
-        return [
-            Request(r.time, r.app, r.key, op, r.value_size, r.key_size)
-            for r in requests
-        ]
+    def only(op: str) -> CompiledTrace:
+        return compiled.with_op(op)
 
     factories = _engines(fill_on_miss=not all_miss)
     overheads: Dict[str, Dict[str, float]] = {}
@@ -198,19 +223,25 @@ def measure_throughput_slowdown(
         stream = UniqueKeyStream(
             app="micro", get_fraction=get_fraction, seed=seed
         )
-        requests = list(stream.generate(num_requests + warmup, 100.0))
+        total = num_requests + warmup
+        compiled = _compiled_stream(
+            stream,
+            f"micro-unique-gf{get_fraction!r}-seed{seed}-n{total}",
+            total,
+            geometry,
+        )
         base = _replay(
             FirstComeFirstServeEngine(
                 "micro", budget_bytes, geometry, fill_on_miss=False
             ),
-            requests,
+            compiled,
             warmup,
         )
         cliff = _replay(
             CliffhangerEngine(
                 "micro", budget_bytes, geometry, fill_on_miss=False
             ),
-            requests,
+            compiled,
             warmup,
         )
         base_throughput = model.throughput(base.ops, base.gets, base.sets)

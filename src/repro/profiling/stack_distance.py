@@ -67,18 +67,24 @@ class _Fenwick:
         self._add(index, -weight)
 
     def _grow(self) -> None:
-        # Double capacity and rebuild from prefix sums (amortized O(1)
-        # per append). Extract current point values first.
-        values = [0.0] * self._size
-        for i in range(self._size):
-            values[i] = self.prefix(i) - (self.prefix(i - 1) if i else 0.0)
+        # Double capacity and rebuild in O(n): peel the tree down to point
+        # values with one backward pass (each node donates its partial sum
+        # back to its parent range), then rebuild with the mirrored
+        # forward pass over the doubled tree.
+        old_capacity = self._capacity
+        values = self._tree[1 : old_capacity + 1]
+        for i in range(old_capacity, 0, -1):
+            parent = i + (i & -i)
+            if parent <= old_capacity:
+                values[parent - 1] -= values[i - 1]
         self._capacity *= 2
-        self._tree = [0.0] * (self._capacity + 1)
-        size, self._size = self._size, 0
-        for i in range(size):
-            self._size += 1
-            if values[i]:
-                self._add(i, values[i])
+        tree = [0.0] * (self._capacity + 1)
+        tree[1 : old_capacity + 1] = values
+        for i in range(1, self._capacity + 1):
+            parent = i + (i & -i)
+            if parent <= self._capacity:
+                tree[parent] += tree[i]
+        self._tree = tree
 
     def _add(self, index: int, delta: float) -> None:
         i = index + 1

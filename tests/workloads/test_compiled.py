@@ -1,0 +1,211 @@
+"""Property tests: compiled traces are a lossless, replay-equivalent
+representation of request streams."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.server import CacheServer
+from repro.cache.log_structured import GlobalLRUEngine
+from repro.cache.slabs import SlabGeometry
+from repro.common.errors import TraceFormatError
+from repro.core.engine import CliffhangerEngine
+from repro.workloads.compiled import CompiledTrace, TraceCache
+from repro.workloads.trace import Request
+
+GEOMETRY = SlabGeometry.default()
+
+# Value sizes that always fit the largest slab class, leaving room for
+# key bytes and the per-item overhead.
+_MAX_VALUE = GEOMETRY.chunk_sizes[-1] - 256
+
+
+@st.composite
+def traces(draw, max_requests: int = 120):
+    """Generated mixed-op, multi-app request streams (time-ordered)."""
+    num_apps = draw(st.integers(min_value=1, max_value=3))
+    apps = [f"app{i}" for i in range(num_apps)]
+    count = draw(st.integers(min_value=1, max_value=max_requests))
+    # Per-key deterministic sizes, like every real generator in the repo.
+    sizes = {}
+    requests = []
+    for i in range(count):
+        app = draw(st.sampled_from(apps))
+        key_index = draw(st.integers(min_value=0, max_value=30))
+        key = f"{app}:k{key_index}"
+        if key not in sizes:
+            sizes[key] = draw(st.integers(min_value=1, max_value=_MAX_VALUE))
+        op = draw(
+            st.sampled_from(["get", "get", "get", "set", "delete"])
+        )
+        requests.append(
+            Request(
+                time=float(i),
+                app=app,
+                key=key,
+                op=op,
+                value_size=sizes[key],
+            )
+        )
+    return requests
+
+
+def _counter_state(counter):
+    return (
+        counter.get_hits,
+        counter.get_misses,
+        counter.sets,
+        counter.shadow_hits,
+        counter.evictions,
+    )
+
+
+def _registry_state(stats):
+    return (
+        _counter_state(stats.total),
+        sorted(
+            (app, _counter_state(c)) for app, c in stats.by_app.items()
+        ),
+        sorted(
+            ((app, -1 if slab is None else slab), _counter_state(c))
+            for (app, slab), c in stats.by_app_class.items()
+        ),
+    )
+
+
+def _server_for(requests, make_engine):
+    server = CacheServer(GEOMETRY)
+    for app in sorted({r.app for r in requests}):
+        server.add_app(make_engine(app))
+    return server
+
+
+ENGINE_FACTORIES = {
+    "global-lru": lambda app: GlobalLRUEngine(app, 64 << 10, GEOMETRY),
+    "cliffhanger": lambda app: CliffhangerEngine(
+        app,
+        64 << 10,
+        GEOMETRY,
+        seed=0,
+        probe_items=12,
+        min_cliff_items=20,
+    ),
+}
+
+
+@settings(max_examples=40, deadline=None)
+@given(traces())
+def test_compile_roundtrip_preserves_requests(requests):
+    compiled = CompiledTrace.compile(requests, GEOMETRY)
+    assert len(compiled) == len(requests)
+    assert list(compiled.iter_requests()) == requests
+
+
+@settings(max_examples=25, deadline=None)
+@given(traces())
+@pytest.mark.parametrize("engine_kind", sorted(ENGINE_FACTORIES))
+def test_compiled_replay_equals_object_replay(engine_kind, requests):
+    make = ENGINE_FACTORIES[engine_kind]
+    compiled = CompiledTrace.compile(requests, GEOMETRY)
+
+    object_server = _server_for(requests, make)
+    object_server.replay(iter(requests))
+
+    fast_server = _server_for(requests, make)
+    fast_server.replay_compiled(compiled)
+
+    assert _registry_state(fast_server.stats) == _registry_state(
+        object_server.stats
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(traces())
+@pytest.mark.parametrize("engine_kind", sorted(ENGINE_FACTORIES))
+def test_reexpanded_replay_equals_object_replay(engine_kind, requests):
+    """compile -> iter_requests -> replay matches replaying the original."""
+    make = ENGINE_FACTORIES[engine_kind]
+    compiled = CompiledTrace.compile(requests, GEOMETRY)
+
+    object_server = _server_for(requests, make)
+    object_server.replay(iter(requests))
+
+    expanded_server = _server_for(requests, make)
+    expanded_server.replay(compiled.iter_requests())
+
+    assert _registry_state(expanded_server.stats) == _registry_state(
+        object_server.stats
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(requests=traces(max_requests=60))
+def test_save_load_roundtrip(requests, tmp_path_factory):
+    compiled = CompiledTrace.compile(requests, GEOMETRY)
+    path = tmp_path_factory.mktemp("traces") / "trace.npz"
+    compiled.save(path)
+    loaded = CompiledTrace.load(path)
+    assert list(loaded.iter_requests()) == requests
+    assert loaded.slab_classes == compiled.slab_classes
+    assert loaded.chunk_bytes == compiled.chunk_bytes
+
+
+def test_select_apps_matches_filtering():
+    requests = [
+        Request(time=float(i), app=f"app{i % 3}", key=f"app{i % 3}:k{i % 7}",
+                op="get", value_size=100)
+        for i in range(60)
+    ]
+    compiled = CompiledTrace.compile(requests, GEOMETRY)
+    subset = compiled.select_apps(["app1"])
+    expected = [r for r in requests if r.app == "app1"]
+    assert list(subset.iter_requests()) == expected
+
+
+def test_slice_and_with_op():
+    requests = [
+        Request(time=float(i), app="a", key=f"a:k{i}", op="get",
+                value_size=50)
+        for i in range(10)
+    ]
+    compiled = CompiledTrace.compile(requests, GEOMETRY)
+    assert len(compiled.slice(0, 4)) == 4
+    assert len(compiled.slice(4)) == 6
+    sets = compiled.with_op("set")
+    assert set(sets.op_codes) == {1}
+    assert sets.slab_classes == compiled.slab_classes
+
+
+def test_compile_validates_once():
+    bad_op = [Request.__new__(Request)]
+    object.__setattr__(bad_op[0], "time", 0.0)
+    object.__setattr__(bad_op[0], "app", "a")
+    object.__setattr__(bad_op[0], "key", "a:k")
+    object.__setattr__(bad_op[0], "op", "frobnicate")
+    object.__setattr__(bad_op[0], "value_size", 10)
+    object.__setattr__(bad_op[0], "key_size", 3)
+    with pytest.raises(TraceFormatError):
+        CompiledTrace.compile(bad_op, GEOMETRY)
+
+
+def test_trace_cache_memory_and_disk(tmp_path):
+    calls = []
+
+    def factory():
+        calls.append(1)
+        return [
+            Request(time=0.0, app="a", key="a:k", op="get", value_size=10)
+        ]
+
+    cache = TraceCache(directory=tmp_path, memory_entries=2)
+    first = cache.get_or_compile("t1", factory)
+    again = cache.get_or_compile("t1", factory)
+    assert first is again and len(calls) == 1
+
+    # A fresh cache instance must hit the disk copy, not the factory.
+    other = TraceCache(directory=tmp_path)
+    loaded = cache_hit = other.get_or_compile("t1", factory)
+    assert len(calls) == 1
+    assert list(cache_hit.iter_requests()) == list(first.iter_requests())
+    assert loaded.keys == first.keys
