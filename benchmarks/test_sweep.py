@@ -1,0 +1,110 @@
+"""Sweep-runner benchmark: emits the ``BENCH_sweep.json`` artifact.
+
+Runs the same 8-scenario grid (4 schemes x 2 budgets on the app19
+memcachier trace) serially and on a 4-worker process pool, asserting the
+parallel run reproduces the serial results exactly and recording the
+wall-clock speedup. The speedup floor (>= 2x with 4 workers) is enforced
+only where it can physically exist: ``BENCH_ENFORCE=1`` *and* at least 4
+CPUs; a single-core container still verifies determinism and records the
+numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.sim import BENCH_SCALE, Scenario, Sweep
+
+ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+WORKERS = 4
+
+SWEEP = Sweep(
+    base=Scenario(
+        workload="memcachier",
+        scale=BENCH_SCALE,
+        seed=0,
+        workload_params={"apps": [19]},
+    ),
+    axes={
+        "scheme": ["default", "cliff-only", "hill-only", "cliffhanger"],
+        "budgets.app19": [500_000.0, 1_000_000.0],
+    },
+)
+
+
+def test_sweep_parallel_speedup():
+    grid = SWEEP.scenarios()
+    assert len(grid) == 8
+
+    serial = SWEEP.run()  # also warms the on-disk trace cache for workers
+    parallel = SWEEP.run(workers=WORKERS)
+
+    # Determinism first: worker processes must not move a single bit.
+    assert [r.hit_rates for r in parallel] == [r.hit_rates for r in serial]
+    assert [r.scenario.name for r in parallel] == [
+        r.scenario.name for r in serial
+    ]
+
+    speedup = (
+        serial.elapsed_seconds / parallel.elapsed_seconds
+        if parallel.elapsed_seconds > 0
+        else 0.0
+    )
+    cpus = os.cpu_count() or 1
+    payload = {
+        "scenarios": len(grid),
+        "workers": WORKERS,
+        "cpu_count": cpus,
+        "serial_seconds": serial.elapsed_seconds,
+        "parallel_seconds": parallel.elapsed_seconds,
+        "speedup": speedup,
+        "serial_requests_per_sec": serial.requests_per_sec,
+        "parallel_requests_per_sec": parallel.requests_per_sec,
+        "grid": [
+            {
+                "name": r.scenario.name,
+                "overall_hit_rate": r.overall_hit_rate,
+                "requests": r.requests,
+            }
+            for r in serial
+        ],
+    }
+    ARTIFACT_PATH.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    print(
+        f"\n[sweep] {len(grid)} scenarios: serial "
+        f"{serial.elapsed_seconds:.2f}s, {WORKERS}-worker "
+        f"{parallel.elapsed_seconds:.2f}s = {speedup:.2f}x "
+        f"({cpus} CPUs); wrote {ARTIFACT_PATH}"
+    )
+
+    if os.environ.get("BENCH_ENFORCE") and cpus >= WORKERS:
+        assert speedup >= 2.0, (
+            f"4-worker sweep speedup {speedup:.2f}x < 2x on a "
+            f"{cpus}-CPU machine"
+        )
+    elif cpus >= WORKERS:
+        if speedup < 2.0:
+            print(f"WARNING: sweep speedup {speedup:.2f}x < 2x")
+    else:
+        # Not enough cores for parallelism to pay; determinism checked above.
+        assert speedup > 0.0
+
+
+def test_sweep_smoke_two_by_two():
+    """The CI smoke grid: 2 schemes x 2 budgets, serial, tiny."""
+    sweep = Sweep(
+        base=SWEEP.base,
+        axes={
+            "scheme": ["default", "cliffhanger"],
+            "budgets.app19": [500_000.0, 1_000_000.0],
+        },
+    )
+    outcome = sweep.run()
+    assert len(outcome) == 4
+    assert all(r.requests > 0 for r in outcome)
+    assert all(0.0 <= r.overall_hit_rate <= 1.0 for r in outcome)

@@ -1,52 +1,51 @@
 #!/usr/bin/env python3
-"""Quickstart: a multi-tenant cache server running Cliffhanger.
+"""Quickstart: declare a simulation, run it, compare schemes.
 
-Builds a server with two tenants, replays a skewed workload, and prints
-per-tenant hit rates plus where Cliffhanger moved the memory. Runs in a
-few seconds.
+The Scenario API describes a whole simulation as data -- workload,
+engine scheme, eviction policy, budgets, scale, seed -- and
+``run_scenario`` executes it through the compiled-trace fast path.
+This script replays two Zipf tenants under the stock allocator and
+under Cliffhanger, and prints where the hits (and the memory) moved.
+Runs in a few seconds.
 
     python examples/quickstart.py
 """
 
-from repro import CacheServer, CliffhangerEngine, Request, SlabGeometry
-from repro.workloads.generators import ZipfStream
-from repro.workloads.sizes import FixedSize, MixtureSize
-from repro.workloads.trace import merge_by_time
+from repro.sim import Scenario, run_scenario
+
+#: Two tenants: "shop" has a large key universe (its working set does
+#: not fit), "feed" a small, hot one.
+BASE = Scenario(
+    workload="zipf",
+    scale=1.0,
+    seed=42,
+    workload_params={
+        "apps": {
+            "shop": {"num_keys": 30_000, "alpha": 1.0, "value_size": 600},
+            "feed": {"num_keys": 8_000, "alpha": 1.1, "value_size": 300},
+        },
+        "requests_per_app": 100_000,
+        "budget_fraction": 0.15,
+    },
+)
 
 
 def main() -> None:
-    geometry = SlabGeometry.default()
-    server = CacheServer(geometry)
+    default = run_scenario(BASE.replace(scheme="default"))
+    cliffhanger = run_scenario(
+        BASE.replace(scheme="cliffhanger"), baseline=default, keep_server=True
+    )
 
-    # Two tenants with 4 MB reservations each. "shop" stores a mix of
-    # small sessions and large rendered fragments; "feed" stores small
-    # items only.
-    for app in ("shop", "feed"):
-        server.add_app(
-            CliffhangerEngine(app, 4 << 20, geometry, seed=42)
+    print("per-tenant hit rates (default -> cliffhanger)")
+    for app in sorted(default.hit_rates):
+        print(
+            f"  {app}: {default.hit_rates[app]:6.3f} -> "
+            f"{cliffhanger.hit_rates[app]:6.3f} "
+            f"(miss reduction {cliffhanger.miss_reductions[app]:+.3f})"
         )
 
-    shop_sizes = MixtureSize(
-        [(0.8, FixedSize(120)), (0.2, FixedSize(6000))]
-    )
-    shop = ZipfStream(
-        "shop", num_keys=30_000, alpha=1.0, size_model=shop_sizes, seed=1
-    )
-    feed = ZipfStream(
-        "feed", num_keys=8_000, alpha=1.1, size_model=FixedSize(300), seed=2
-    )
-
-    trace = merge_by_time(
-        [shop.generate(120_000, 3600.0), feed.generate(80_000, 3600.0)]
-    )
-    stats = server.replay(trace)
-
-    print("per-tenant hit rates")
-    for app in ("shop", "feed"):
-        print(f"  {app}: {stats.app_hit_rate(app):6.3f}")
-
     print("\nmemory allocation Cliffhanger converged to (bytes per slab class)")
-    for app, engine in server.engines.items():
+    for app, engine in cliffhanger.server.engines.items():
         capacities = {
             idx: int(capacity)
             for idx, capacity in engine.capacities().items()
@@ -54,12 +53,12 @@ def main() -> None:
         }
         print(f"  {app}: {capacities}")
 
-    ops = server.total_ops()
     print(
-        f"\nprimitive ops: {ops.total():,} "
-        f"(shadow lookups: {ops.shadow_lookups:,}, "
-        f"evictions: {ops.evictions:,})"
+        f"\nreplayed {cliffhanger.requests:,} requests at "
+        f"{cliffhanger.requests_per_sec:,.0f} req/s"
     )
+    print("\nsame scenario as JSON (feed it to `python -m repro.experiments run`):")
+    print(BASE.replace(scheme="cliffhanger").to_json(indent=2))
 
 
 if __name__ == "__main__":

@@ -3,7 +3,7 @@
 incremental shadow-queue optimization.
 
 Replays the synthetic Application 19 (two performance cliffs plus a
-concave memory sink) three ways:
+concave memory sink) three ways, each declared as a :class:`Scenario`:
 
 * the stock first-come-first-serve allocation,
 * the Dynacache solver (Mimir-estimated curves + concave optimization)
@@ -13,12 +13,12 @@ concave memory sink) three ways:
     python examples/solver_vs_cliffhanger.py
 """
 
-from repro.experiments.common import (
+from repro.sim import (
+    Scenario,
+    load_workload,
     profile_app_classes,
-    replay_apps,
-    solver_plan_for_app,
+    run_scenario,
 )
-from repro.workloads.memcachier import build_memcachier_trace
 
 SCALE = 0.05
 APP = "app19"
@@ -30,14 +30,21 @@ APP = "app19"
 #: recovers. Cliffhanger needs no profile either way.
 REQUESTS = 20_000
 
+BASE = Scenario(
+    workload="memcachier",
+    scale=SCALE,
+    seed=0,
+    workload_params={"apps": [19], "total_requests": REQUESTS},
+)
+
 
 def main() -> None:
-    trace = build_memcachier_trace(
-        scale=SCALE, seed=0, apps=[19], total_requests=REQUESTS
+    trace = load_workload(
+        "memcachier", scale=SCALE, seed=0, apps=[19], total_requests=REQUESTS
     )
 
     print("profiling per-class hit-rate curves (exact stack distances)...")
-    curves, frequencies = profile_app_classes(trace.app_requests(APP))
+    curves, frequencies = profile_app_classes(trace.compiled_for(APP))
     for class_index, curve in sorted(curves.items()):
         cliffs = curve.cliffs(tolerance=0.02)
         marker = (
@@ -51,19 +58,18 @@ def main() -> None:
         )
 
     print("\nreplaying under three allocation schemes...")
-    _, default_stats = replay_apps(trace, "default")
-    plan = solver_plan_for_app(trace, APP)
-    _, solver_stats = replay_apps(trace, "planned", plans={APP: plan})
-    _, cliffhanger_stats = replay_apps(trace, "cliffhanger", seed=0)
-
-    rows = [
-        ("default (FCFS)", default_stats.app_hit_rate(APP)),
-        ("Dynacache solver", solver_stats.app_hit_rate(APP)),
-        ("Cliffhanger", cliffhanger_stats.app_hit_rate(APP)),
+    results = [
+        ("default (FCFS)", run_scenario(BASE.replace(scheme="default"))),
+        (
+            "Dynacache solver",
+            run_scenario(BASE.replace(scheme="planned", plans="solver")),
+        ),
+        ("Cliffhanger", run_scenario(BASE.replace(scheme="cliffhanger"))),
     ]
+
     print(f"\n{'scheme':<20} {'hit rate':>8}")
-    for name, rate in rows:
-        print(f"{name:<20} {rate:>8.3f}")
+    for name, result in results:
+        print(f"{name:<20} {result.hit_rates[APP]:>8.3f}")
     print(
         "\npaper shape: the solver loses to the default on this app "
         "(it cannot see past the cliffs); Cliffhanger does not."

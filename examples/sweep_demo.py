@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Parameter sweeps: a scheme x budget grid on worker processes.
+
+A ``Sweep`` expands a base scenario against axes (any scenario field,
+or dotted paths into nested params) and runs the whole grid -- serially
+or across a process pool sharing the on-disk compiled-trace cache.
+Results come back in deterministic grid order either way.
+
+    python examples/sweep_demo.py
+
+The same sweep as a JSON spec (see README "Scenario API"):
+
+    python -m repro.experiments sweep examples/sweep_spec.json --workers 4
+"""
+
+import os
+
+from repro.sim import Scenario, Sweep
+
+SWEEP = Sweep(
+    base=Scenario(
+        workload="memcachier",
+        scale=0.02,
+        seed=0,
+        workload_params={"apps": [19]},
+    ),
+    axes={
+        "scheme": ["default", "cliff-only", "hill-only", "cliffhanger"],
+        "budgets.app19": [400_000.0, 800_000.0],
+    },
+)
+
+
+def main() -> None:
+    workers = min(4, os.cpu_count() or 1)
+    result = SWEEP.run(workers=workers)
+    print(result.render())
+    best = max(result.results, key=lambda r: r.overall_hit_rate)
+    print(
+        f"\nbest grid point: {best.scenario.label()} "
+        f"(hit rate {best.overall_hit_rate:.4f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,7 @@ caller so that engines can forward evicted keys into shadow queues.
 
 from typing import Callable, Dict
 
+from repro.common.errors import ConfigurationError
 from repro.cache.policies.base import EvictionPolicy
 from repro.cache.policies.lru import LRUPolicy
 from repro.cache.policies.lfu import LFUPolicy
@@ -49,7 +50,7 @@ def make_policy(kind: str, capacity: float, name: str = "") -> EvictionPolicy:
     try:
         factory = POLICIES[kind]
     except KeyError:
-        raise ValueError(
+        raise ConfigurationError(
             f"unknown policy {kind!r}; known: {sorted(POLICIES)}"
         ) from None
     return factory(capacity, name)

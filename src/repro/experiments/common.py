@@ -1,9 +1,12 @@
 """Shared experiment harness.
 
-Everything the per-figure runners need: engine factories keyed by scheme
-name, trace replay with per-app statistics, per-slab-class hit-rate-curve
-profiling (exact or Mimir-estimated), solver planning, miss-reduction
-arithmetic and plain-text table rendering.
+Since the Scenario API redesign this module is a thin layer over
+:mod:`repro.sim`: the engine factory, trace loading, profiling and the
+replay helper all dispatch through the scheme/workload registries, and
+``replay_apps`` is a compatibility wrapper around
+:func:`repro.sim.replay_on_trace`. What remains here is the experiment
+bookkeeping itself: :class:`ExperimentResult` rendering/serialization and
+miss-reduction arithmetic.
 """
 
 from __future__ import annotations
@@ -11,102 +14,42 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import (
-    Callable,
-    Dict,
-    Iterable,
-    List,
-    Optional,
-    Sequence,
-    Tuple,
-    Union,
-)
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.allocation.dynacache import DynacacheSolver
-from repro.allocation.lookahead import LookAheadAllocator
-from repro.cache.engines import (
-    Engine,
-    FirstComeFirstServeEngine,
-    PlannedEngine,
-)
-from repro.cache.item import CacheItem
-from repro.cache.log_structured import GlobalLRUEngine
 from repro.cache.server import CacheServer
-from repro.cache.slabs import SlabGeometry
 from repro.cache.stats import StatsRegistry
-from repro.common.errors import ConfigurationError
-from repro.core.engine import CliffhangerEngine, HillClimbEngine
-from repro.cache.stats import OP_GET
-from repro.profiling.hrc import HitRateCurve
-from repro.profiling.mimir import MimirProfiler
-from repro.profiling.stack_distance import StackDistanceProfiler
-from repro.workloads.compiled import GLOBAL_TRACE_CACHE, CompiledTrace
-from repro.workloads.memcachier import MemcachierTrace, build_memcachier_trace
-from repro.workloads.trace import Request
+from repro.sim import (
+    BENCH_SCALE,
+    FULL_SCALE,
+    GEOMETRY,
+    CachedTrace,
+    Scenario,
+    classify,
+    load_workload,
+    make_engine,
+    miss_reduction,
+    profile_app_classes,
+    replay_on_trace,
+    scaled_cliff_kwargs,
+    solver_plan_for_app,
+)
 
-GEOMETRY = SlabGeometry.default()
-
-#: Default trace scale for full runs and for the pytest benchmarks.
-FULL_SCALE = 0.25
-BENCH_SCALE = 0.03
-
-
-# ---------------------------------------------------------------------------
-# Cached, compiled traces
-# ---------------------------------------------------------------------------
-
-
-@dataclass
-class CachedTrace:
-    """A :class:`MemcachierTrace`-compatible facade over a compiled trace.
-
-    Metadata (reservations, request counts, specs) comes from the cheap
-    analytic build; the request stream itself is a cached
-    :class:`CompiledTrace`, so repeated experiment runs -- and the ~17
-    runners sharing a scale/seed -- never regenerate it.
-    """
-
-    meta: MemcachierTrace
-    compiled: CompiledTrace
-
-    @property
-    def scale(self) -> float:
-        return self.meta.scale
-
-    @property
-    def seed(self) -> int:
-        return self.meta.seed
-
-    @property
-    def total_requests(self) -> int:
-        return self.meta.total_requests
-
-    @property
-    def reservations(self) -> Dict[str, float]:
-        return self.meta.reservations
-
-    @property
-    def requests_per_app(self) -> Dict[str, int]:
-        return self.meta.requests_per_app
-
-    @property
-    def specs(self):
-        return self.meta.specs
-
-    @property
-    def app_names(self) -> List[str]:
-        return self.meta.app_names
-
-    def requests(self):
-        return self.compiled.iter_requests()
-
-    def app_requests(self, app: str):
-        return self.compiled_for(app).iter_requests()
-
-    def compiled_for(self, app: str) -> CompiledTrace:
-        """One app's compiled sub-trace (stable-merge filtering keeps the
-        per-app order identical to regenerating the app's stream)."""
-        return self.compiled.for_app(app)
+__all__ = [
+    "BENCH_SCALE",
+    "CachedTrace",
+    "ExperimentResult",
+    "FULL_SCALE",
+    "GEOMETRY",
+    "classify",
+    "hit_rates_by_app",
+    "load_trace",
+    "make_engine",
+    "miss_reduction",
+    "profile_app_classes",
+    "replay_apps",
+    "scaled_cliff_kwargs",
+    "solver_plan_for_app",
+]
 
 
 def load_trace(
@@ -116,16 +59,13 @@ def load_trace(
     total_requests: Optional[int] = None,
 ) -> CachedTrace:
     """Build (or fetch from cache) a compiled synthetic Memcachier trace."""
-    meta = build_memcachier_trace(
-        scale=scale, seed=seed, apps=apps, total_requests=total_requests
+    return load_workload(
+        "memcachier",
+        scale=scale,
+        seed=seed,
+        apps=apps,
+        total_requests=total_requests,
     )
-    app_part = "all" if apps is None else "-".join(str(a) for a in sorted(apps))
-    key = (
-        f"memcachier-scale{scale!r}-seed{seed}-apps{app_part}"
-        f"-total{total_requests if total_requests is not None else 'auto'}"
-    )
-    compiled = GLOBAL_TRACE_CACHE.get_or_compile(key, meta.requests, GEOMETRY)
-    return CachedTrace(meta, compiled)
 
 
 @dataclass
@@ -195,113 +135,12 @@ def _format_cell(cell: object) -> str:
 
 
 # ---------------------------------------------------------------------------
-# Engine schemes
-# ---------------------------------------------------------------------------
-
-
-def scaled_cliff_kwargs(scale: float) -> Dict[str, int]:
-    """Shrink probe/gate constants along with queue sizes at small scale.
-
-    At full scale the paper constants apply (128-item probes, 1000-item
-    gate); scaled-down traces shrink queues proportionally, so keeping
-    the constants would disable cliff scaling entirely.
-    """
-    if scale >= 0.5:
-        return {}
-    return {
-        "probe_items": max(12, int(128 * scale)),
-        "min_cliff_items": max(100, int(600 * scale)),
-        # Credits move a fixed fraction of (scaled) memory per shadow
-        # hit; shadow-hit counts scale with the request count, so the
-        # credit must scale with memory to converge in the same number
-        # of trace passes.
-        "credit_bytes": max(512.0, 4096 * scale * 2),
-        # The shadow approximates the *local* gradient only while it is
-        # small relative to the queue (paper ratio: 1 MB shadows on
-        # ~50 MB applications); scale it with the queues or the shadow
-        # hit rate measures total tail mass instead.
-        "hill_shadow_bytes": max(16 << 10, int((1 << 20) * scale)),
-    }
-
-
-def make_engine(
-    scheme: str,
-    app: str,
-    budget_bytes: float,
-    scale: float = 1.0,
-    seed: int = 0,
-    plan: Optional[Dict[int, float]] = None,
-    policy: str = "lru",
-    geometry: SlabGeometry = GEOMETRY,
-    **overrides,
-) -> Engine:
-    """Instantiate an engine by scheme name.
-
-    Schemes: ``default`` (stock FCFS), ``planned`` (a solver plan),
-    ``lsm`` (global LRU), ``hill`` (Algorithm 1 only, any policy),
-    ``cliff-only``, ``hill-only`` and ``cliffhanger`` (the combined
-    system).
-    """
-    if scheme == "default":
-        return FirstComeFirstServeEngine(
-            app, budget_bytes, geometry, policy=policy
-        )
-    if scheme == "planned":
-        if plan is None:
-            raise ConfigurationError("planned engine needs a plan")
-        return PlannedEngine(app, budget_bytes, geometry, plan, policy=policy)
-    if scheme == "lsm":
-        return GlobalLRUEngine(app, budget_bytes, geometry, policy=policy)
-    if scheme == "hill":
-        scaled = scaled_cliff_kwargs(scale)
-        hill_kwargs = {}
-        if "credit_bytes" in scaled:
-            hill_kwargs["credit_bytes"] = scaled["credit_bytes"]
-        if "hill_shadow_bytes" in scaled:
-            hill_kwargs["shadow_bytes"] = scaled["hill_shadow_bytes"]
-        hill_kwargs.update(overrides)
-        return HillClimbEngine(
-            app,
-            budget_bytes,
-            geometry,
-            policy=policy,
-            seed=seed,
-            **hill_kwargs,
-        )
-    kwargs = dict(scaled_cliff_kwargs(scale))
-    kwargs.update(overrides)
-    if scheme == "cliff-only":
-        return CliffhangerEngine(
-            app,
-            budget_bytes,
-            geometry,
-            enable_hill_climbing=False,
-            seed=seed,
-            **kwargs,
-        )
-    if scheme == "hill-only":
-        return CliffhangerEngine(
-            app,
-            budget_bytes,
-            geometry,
-            enable_cliff_scaling=False,
-            seed=seed,
-            **kwargs,
-        )
-    if scheme == "cliffhanger":
-        return CliffhangerEngine(
-            app, budget_bytes, geometry, seed=seed, **kwargs
-        )
-    raise ConfigurationError(f"unknown scheme {scheme!r}")
-
-
-# ---------------------------------------------------------------------------
 # Replay helpers
 # ---------------------------------------------------------------------------
 
 
 def replay_apps(
-    trace: MemcachierTrace,
+    trace,
     scheme: str,
     apps: Optional[Sequence[str]] = None,
     plans: Optional[Dict[str, Dict[int, float]]] = None,
@@ -311,163 +150,26 @@ def replay_apps(
     observer=None,
     **engine_overrides,
 ) -> Tuple[CacheServer, StatsRegistry]:
-    """Replay the trace with one engine scheme for every app.
+    """Replay an already-loaded trace with one engine scheme per app.
 
     Each application runs under its own engine with its own reservation
     (the Memcachier model). ``plans`` supplies per-app solver plans for
-    the ``planned`` scheme; ``budgets`` overrides reservations.
+    the ``planned`` scheme; ``budgets`` overrides reservations and may
+    be partial -- unlisted apps fall back to ``trace.reservations``.
     """
-    chosen = list(apps) if apps is not None else trace.app_names
-    server = CacheServer(GEOMETRY)
-    for app in chosen:
-        budget = (
-            budgets[app] if budgets else trace.reservations[app]
-        )
-        server.add_app(
-            make_engine(
-                scheme,
-                app,
-                budget,
-                scale=trace.scale,
-                seed=seed,
-                plan=plans.get(app) if plans else None,
-                policy=policy,
-                **engine_overrides,
-            )
-        )
-    if observer is not None:
-        server.add_observer(observer)
-    compiled = getattr(trace, "compiled", None)
-    if compiled is not None:
-        if set(chosen) != set(trace.app_names):
-            compiled = compiled.select_apps(chosen)
-        server.replay_compiled(compiled)
-        return server, server.stats
-    if set(chosen) == set(trace.app_names):
-        stream: Iterable[Request] = trace.requests()
-    else:
-        from repro.workloads.trace import merge_by_time
-
-        stream = merge_by_time([trace.app_requests(app) for app in chosen])
-    server.replay(stream)
-    return server, server.stats
+    scenario = Scenario(
+        scheme=scheme,
+        policy=policy,
+        scale=trace.scale,
+        seed=seed,
+        apps=list(apps) if apps is not None else None,
+        budgets=dict(budgets) if budgets is not None else None,
+        plans=plans,
+        engine_overrides=engine_overrides,
+    )
+    server, stats, _elapsed = replay_on_trace(scenario, trace, observer=observer)
+    return server, stats
 
 
 def hit_rates_by_app(stats: StatsRegistry, apps: Sequence[str]) -> Dict[str, float]:
     return {app: stats.app_hit_rate(app) for app in apps}
-
-
-def miss_reduction(base_hit_rate: float, new_hit_rate: float) -> float:
-    """Fraction of the baseline's misses eliminated (can be negative)."""
-    base_misses = 1.0 - base_hit_rate
-    if base_misses <= 0:
-        return 0.0
-    return (new_hit_rate - base_hit_rate) / base_misses
-
-
-# ---------------------------------------------------------------------------
-# Profiling and solver planning
-# ---------------------------------------------------------------------------
-
-
-def classify(request: Request) -> int:
-    """Slab class of one request (shared with the engines)."""
-    item = CacheItem(
-        key=request.key,
-        value_size=request.value_size,
-        key_size=request.key_size,
-    )
-    return GEOMETRY.class_for_size(item.total_size)
-
-
-def profile_app_classes(
-    requests: Union[Iterable[Request], CompiledTrace],
-    estimator: str = "exact",
-) -> Tuple[Dict[int, HitRateCurve], Dict[int, int]]:
-    """Per-slab-class hit-rate curves (size axis: items) and GET counts.
-
-    ``requests`` may be a plain request iterable or a
-    :class:`CompiledTrace` (whose precomputed slab classes skip the
-    per-request :func:`classify` allocation). ``estimator``: ``exact``
-    uses Mattson stack distances; ``mimir`` the bucket estimator Dynacache
-    really used (coarser, reproducing its estimation error).
-    """
-    if estimator == "exact":
-        make = StackDistanceProfiler
-    elif estimator == "mimir":
-        make = MimirProfiler
-    else:
-        raise ConfigurationError(f"unknown estimator {estimator!r}")
-    profilers: Dict[int, object] = {}
-    frequencies: Dict[int, int] = {}
-    if isinstance(requests, CompiledTrace):
-        trace = requests
-        for key, op, class_index in zip(
-            trace.keys, trace.op_codes, trace.slab_classes
-        ):
-            if op != OP_GET:
-                continue
-            profiler = profilers.get(class_index)
-            if profiler is None:
-                profiler = profilers.setdefault(class_index, make())
-            profiler.record(key)
-            frequencies[class_index] = frequencies.get(class_index, 0) + 1
-    else:
-        for request in requests:
-            if request.op != "get":
-                continue
-            class_index = classify(request)
-            profiler = profilers.get(class_index)
-            if profiler is None:
-                profiler = profilers.setdefault(class_index, make())
-            profiler.record(request.key)
-            frequencies[class_index] = frequencies.get(class_index, 0) + 1
-    curves = {
-        class_index: HitRateCurve.from_stack_distances(profiler.distances)
-        for class_index, profiler in profilers.items()
-        if len(profiler.distances) >= 2
-    }
-    return curves, {c: frequencies[c] for c in curves}
-
-
-def solver_plan_for_app(
-    trace: MemcachierTrace,
-    app: str,
-    estimator: str = "mimir",
-    allocator: str = "dynacache",
-) -> Dict[int, float]:
-    """Run the Dynacache solver on one app's week of requests.
-
-    Returns a byte plan per slab class, summing to the app's reservation.
-    """
-    if isinstance(trace, CachedTrace):
-        app_stream: Union[Iterable[Request], CompiledTrace] = (
-            trace.compiled_for(app)
-        )
-    else:
-        app_stream = trace.app_requests(app)
-    curves_items, freqs = profile_app_classes(
-        app_stream, estimator=estimator
-    )
-    if not curves_items:
-        return {}
-    budget = trace.reservations[app]
-    curves_bytes = {
-        class_index: curve.scale_sizes(
-            GEOMETRY.chunk_size(class_index), unit="bytes"
-        )
-        for class_index, curve in curves_items.items()
-    }
-    granularity = max(
-        GEOMETRY.chunk_size(class_index) for class_index in curves_bytes
-    )
-    granularity = min(granularity, budget / max(1, len(curves_bytes)))
-    granularity = max(granularity, 64.0)
-    if allocator == "dynacache":
-        solver = DynacacheSolver(granularity=granularity)
-    elif allocator == "lookahead":
-        solver = LookAheadAllocator(granularity=granularity)
-    else:
-        raise ConfigurationError(f"unknown allocator {allocator!r}")
-    plan = solver.allocate(curves_bytes, freqs, budget)
-    return dict(plan.allocations)

@@ -8,12 +8,8 @@ slab-class-9 component, and report a sampled curve plus a concavity check.
 
 from __future__ import annotations
 
-from repro.experiments.common import (
-    ExperimentResult,
-    FULL_SCALE,
-    load_trace,
-    profile_app_classes,
-)
+from repro.experiments.common import ExperimentResult
+from repro.sim import FULL_SCALE, load_workload, profile_app_classes
 
 APP = "app03"
 SLAB_CLASS = 9
@@ -21,7 +17,7 @@ SAMPLES = 20
 
 
 def run(scale: float = FULL_SCALE, seed: int = 0) -> ExperimentResult:
-    trace = load_trace(scale=scale, seed=seed, apps=[3])
+    trace = load_workload("memcachier", scale=scale, seed=seed, apps=[3])
     curves, frequencies = profile_app_classes(trace.compiled_for(APP))
     if SLAB_CLASS in curves:
         class_index = SLAB_CLASS

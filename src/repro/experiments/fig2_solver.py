@@ -15,12 +15,12 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-from repro.experiments.common import (
-    ExperimentResult,
+from repro.experiments.common import ExperimentResult, miss_reduction
+from repro.sim import (
     FULL_SCALE,
-    load_trace,
-    miss_reduction,
-    replay_apps,
+    Scenario,
+    load_workload,
+    run_scenario,
     solver_plan_for_app,
 )
 
@@ -31,14 +31,25 @@ def run(
     apps: Optional[Sequence[int]] = None,
     estimator: str = "mimir",
 ) -> ExperimentResult:
-    trace = load_trace(scale=scale, seed=seed, apps=apps)
+    workload_params = {"apps": list(apps)} if apps is not None else {}
+    trace = load_workload(
+        "memcachier", scale=scale, seed=seed, **workload_params
+    )
     names = trace.app_names
-    _, default_stats = replay_apps(trace, "default")
+    base = Scenario(
+        workload="memcachier",
+        workload_params=workload_params,
+        scale=scale,
+        seed=seed,
+    )
+    default = run_scenario(base.replace(scheme="default"))
     plans: Dict[str, Dict[int, float]] = {
         app: solver_plan_for_app(trace, app, estimator=estimator)
         for app in names
     }
-    _, solver_stats = replay_apps(trace, "planned", plans=plans)
+    solver = run_scenario(base.replace(scheme="planned", plans=plans))
+    default_stats = default.hit_rates
+    solver_stats = solver.hit_rates
     result = ExperimentResult(
         experiment_id="fig2",
         title="Default vs Dynacache solver",
@@ -53,15 +64,15 @@ def run(
     )
     for app in names:
         spec = trace.specs[app]
-        base = default_stats.app_hit_rate(app)
-        solved = solver_stats.app_hit_rate(app)
+        base_rate = default_stats[app]
+        solved = solver_stats[app]
         result.rows.append(
             [
                 app,
                 "*" if spec.has_cliff else "",
-                base,
+                base_rate,
                 solved,
-                miss_reduction(base, solved),
+                miss_reduction(base_rate, solved),
             ]
         )
     result.notes = (

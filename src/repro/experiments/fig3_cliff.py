@@ -7,12 +7,8 @@ convex intervals where the curve sits below its concave hull.
 
 from __future__ import annotations
 
-from repro.experiments.common import (
-    ExperimentResult,
-    FULL_SCALE,
-    load_trace,
-    profile_app_classes,
-)
+from repro.experiments.common import ExperimentResult
+from repro.sim import FULL_SCALE, load_workload, profile_app_classes
 
 APP = "app11"
 SLAB_CLASS = 6
@@ -20,7 +16,7 @@ SAMPLES = 24
 
 
 def run(scale: float = FULL_SCALE, seed: int = 0) -> ExperimentResult:
-    trace = load_trace(scale=scale, seed=seed, apps=[11])
+    trace = load_workload("memcachier", scale=scale, seed=seed, apps=[11])
     curves, frequencies = profile_app_classes(trace.compiled_for(APP))
     class_index = SLAB_CLASS if SLAB_CLASS in curves else max(curves)
     curve = curves[class_index]

@@ -13,12 +13,8 @@ Two parts:
 from __future__ import annotations
 
 from repro.allocation.talus import compute_ratio, plan_talus_partition
-from repro.experiments.common import (
-    ExperimentResult,
-    FULL_SCALE,
-    load_trace,
-    profile_app_classes,
-)
+from repro.experiments.common import ExperimentResult
+from repro.sim import FULL_SCALE, load_workload, profile_app_classes
 
 APP = "app19"
 #: The paper's worked example.
@@ -58,7 +54,7 @@ def run(scale: float = FULL_SCALE, seed: int = 0) -> ExperimentResult:
         ]
     )
     # Part 2: the synthetic Application 19 curve.
-    trace = load_trace(scale=scale, seed=seed, apps=[19])
+    trace = load_workload("memcachier", scale=scale, seed=seed, apps=[19])
     curves, _ = profile_app_classes(trace.compiled_for(APP))
     class_index = 0 if 0 in curves else min(curves)
     curve = curves[class_index]

@@ -10,14 +10,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.experiments.common import (
-    ExperimentResult,
-    FULL_SCALE,
-    load_trace,
-    miss_reduction,
-    replay_apps,
-    solver_plan_for_app,
-)
+from repro.experiments.common import ExperimentResult, miss_reduction
+from repro.sim import FULL_SCALE, Scenario, load_workload, run_scenario
 
 
 def run(
@@ -25,12 +19,22 @@ def run(
     seed: int = 0,
     apps: Optional[Sequence[int]] = None,
 ) -> ExperimentResult:
-    trace = load_trace(scale=scale, seed=seed, apps=apps)
+    workload_params = {"apps": list(apps)} if apps is not None else {}
+    trace = load_workload(
+        "memcachier", scale=scale, seed=seed, **workload_params
+    )
     names = trace.app_names
-    _, default_stats = replay_apps(trace, "default")
-    plans = {app: solver_plan_for_app(trace, app) for app in names}
-    _, solver_stats = replay_apps(trace, "planned", plans=plans)
-    _, cliffhanger_stats = replay_apps(trace, "cliffhanger", seed=seed)
+    base = Scenario(
+        workload="memcachier",
+        workload_params=workload_params,
+        scale=scale,
+        seed=seed,
+    )
+    default = run_scenario(base.replace(scheme="default"))
+    solver = run_scenario(base.replace(scheme="planned", plans="solver"))
+    cliffhanger = run_scenario(
+        base.replace(scheme="cliffhanger"), baseline=default
+    )
     result = ExperimentResult(
         experiment_id="fig6",
         title="Hit rates: default vs Dynacache solver vs Cliffhanger",
@@ -47,19 +51,17 @@ def run(
     total_default = total_cliffhanger = 0.0
     for app in names:
         spec = trace.specs[app]
-        base = default_stats.app_hit_rate(app)
-        solver = solver_stats.app_hit_rate(app)
-        cliffhanger = cliffhanger_stats.app_hit_rate(app)
-        total_default += base
-        total_cliffhanger += cliffhanger
+        base_rate = default.hit_rates[app]
+        total_default += base_rate
+        total_cliffhanger += cliffhanger.hit_rates[app]
         result.rows.append(
             [
                 app,
                 "*" if spec.has_cliff else "",
-                base,
-                solver,
-                cliffhanger,
-                miss_reduction(base, cliffhanger),
+                base_rate,
+                solver.hit_rates[app],
+                cliffhanger.hit_rates[app],
+                cliffhanger.miss_reductions[app],
             ]
         )
     count = max(1, len(names))

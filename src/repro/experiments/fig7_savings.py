@@ -12,13 +12,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.experiments.common import (
-    ExperimentResult,
-    FULL_SCALE,
-    load_trace,
-    miss_reduction,
-    replay_apps,
-)
+from repro.experiments.common import ExperimentResult, miss_reduction
+from repro.sim import FULL_SCALE, Scenario, load_workload, run_scenario
 
 #: Memory fractions tried, descending; first failure stops the search.
 FRACTIONS = (0.85, 0.70, 0.55, 0.40, 0.25)
@@ -29,10 +24,19 @@ def run(
     seed: int = 0,
     apps: Optional[Sequence[int]] = None,
 ) -> ExperimentResult:
-    trace = load_trace(scale=scale, seed=seed, apps=apps)
+    workload_params = {"apps": list(apps)} if apps is not None else {}
+    trace = load_workload(
+        "memcachier", scale=scale, seed=seed, **workload_params
+    )
     names = trace.app_names
-    _, default_stats = replay_apps(trace, "default")
-    _, cliffhanger_stats = replay_apps(trace, "cliffhanger", seed=seed)
+    base = Scenario(
+        workload="memcachier",
+        workload_params=workload_params,
+        scale=scale,
+        seed=seed,
+    )
+    default = run_scenario(base.replace(scheme="default"))
+    cliffhanger = run_scenario(base.replace(scheme="cliffhanger"))
 
     result = ExperimentResult(
         experiment_id="fig7",
@@ -42,14 +46,16 @@ def run(
     )
     total_savings = 0.0
     for app in names:
-        target = default_stats.app_hit_rate(app)
+        target = default.hit_rates[app]
         best_fraction = 1.0
         for fraction in FRACTIONS:
             budgets = {app: max(64 * 1024, trace.reservations[app] * fraction)}
-            _, stats = replay_apps(
-                trace, "cliffhanger", apps=[app], budgets=budgets, seed=seed
+            shrunk = run_scenario(
+                base.replace(
+                    scheme="cliffhanger", apps=[app], budgets=budgets
+                )
             )
-            if stats.app_hit_rate(app) + 1e-4 >= target:
+            if shrunk.hit_rates[app] + 1e-4 >= target:
                 best_fraction = fraction
             else:
                 break
@@ -59,7 +65,7 @@ def run(
             [
                 app,
                 "*" if trace.specs[app].has_cliff else "",
-                miss_reduction(target, cliffhanger_stats.app_hit_rate(app)),
+                miss_reduction(target, cliffhanger.hit_rates[app]),
                 savings,
             ]
         )

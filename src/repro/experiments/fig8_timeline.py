@@ -9,15 +9,9 @@ paper's demonstration that the algorithm responds to workload change
 
 from __future__ import annotations
 
-from repro.cache.server import CacheServer
 from repro.cache.stats import TimelineRecorder
-from repro.experiments.common import (
-    ExperimentResult,
-    FULL_SCALE,
-    GEOMETRY,
-    load_trace,
-    make_engine,
-)
+from repro.experiments.common import ExperimentResult
+from repro.sim import FULL_SCALE, Scenario, build_server, load_workload
 from repro.workloads.memcachier import WEEK_SECONDS
 
 APP = "app05"
@@ -25,13 +19,17 @@ SAMPLES = 24
 
 
 def run(scale: float = FULL_SCALE, seed: int = 0) -> ExperimentResult:
-    trace = load_trace(scale=scale, seed=seed, apps=[5])
+    trace = load_workload("memcachier", scale=scale, seed=seed, apps=[5])
     recorder = TimelineRecorder(interval=WEEK_SECONDS / SAMPLES)
-    server = CacheServer(GEOMETRY)
-    engine = make_engine(
-        "hill", APP, trace.reservations[APP], scale=trace.scale, seed=seed
+    scenario = Scenario(
+        scheme="hill",
+        workload="memcachier",
+        workload_params={"apps": [5]},
+        scale=scale,
+        seed=seed,
     )
-    server.add_app(engine)
+    server = build_server(scenario, trace)
+    engine = server.engines[APP]
 
     def observer(request, outcome):
         recorder.maybe_sample(

@@ -10,16 +10,15 @@ larger fraction of the compressed week).
 
 from __future__ import annotations
 
-from repro.cache.server import CacheServer
-from repro.experiments.common import (
-    classify,
-    ExperimentResult,
-    FULL_SCALE,
-    GEOMETRY,
-    load_trace,
-    make_engine,
-)
+from repro.experiments.common import ExperimentResult
 from repro.experiments.table4_combined import pinned_plan
+from repro.sim import (
+    FULL_SCALE,
+    Scenario,
+    build_server,
+    classify,
+    load_workload,
+)
 
 APP = "app19"
 SLAB_CLASS = 2
@@ -27,13 +26,18 @@ WINDOWS = 30
 
 
 def run(scale: float = FULL_SCALE, seed: int = 0) -> ExperimentResult:
-    trace = load_trace(scale=scale, seed=seed, apps=[19])
+    trace = load_workload("memcachier", scale=scale, seed=seed, apps=[19])
     plan = pinned_plan(trace, APP)
     budget = sum(plan.values())
-    server = CacheServer(GEOMETRY)
-    server.add_app(
-        make_engine("cliffhanger", APP, budget, scale=trace.scale, seed=seed)
+    scenario = Scenario(
+        scheme="cliffhanger",
+        workload="memcachier",
+        workload_params={"apps": [19]},
+        scale=scale,
+        seed=seed,
+        budgets={APP: budget},
     )
+    server = build_server(scenario, trace)
 
     samples = []  # (window_end, hits, gets)
     window = {"hits": 0, "gets": 0}

@@ -12,12 +12,8 @@ Paper findings being checked:
 
 from __future__ import annotations
 
-from repro.experiments.common import (
-    ExperimentResult,
-    FULL_SCALE,
-    load_trace,
-    replay_apps,
-)
+from repro.experiments.common import ExperimentResult
+from repro.sim import FULL_SCALE, Scenario, Sweep, load_workload, run_scenario
 
 APP_INDEX = 19
 CREDITS = (1024, 4096, 16384, 131072)
@@ -25,8 +21,17 @@ SHADOWS = (256 << 10, 1 << 20, 4 << 20)
 
 
 def run(scale: float = FULL_SCALE, seed: int = 0) -> ExperimentResult:
-    trace = load_trace(scale=scale, seed=seed, apps=[APP_INDEX])
+    trace = load_workload(
+        "memcachier", scale=scale, seed=seed, apps=[APP_INDEX]
+    )
     app = trace.app_names[0]
+    base = Scenario(
+        scheme="cliffhanger",
+        workload="memcachier",
+        workload_params={"apps": [APP_INDEX]},
+        scale=scale,
+        seed=seed,
+    )
     result = ExperimentResult(
         experiment_id="sensitivity",
         title="Credit / shadow-queue sensitivity (Cliffhanger, app19)",
@@ -38,25 +43,32 @@ def run(scale: float = FULL_SCALE, seed: int = 0) -> ExperimentResult:
         ],
         paper_reference="Section 5.3",
     )
-    for credit in CREDITS:
-        for shadow in SHADOWS:
-            _, stats = replay_apps(
-                trace,
-                "cliffhanger",
-                seed=seed,
-                credit_bytes=float(credit),
-                hill_shadow_bytes=float(shadow),
-            )
-            result.rows.append(
-                [credit, shadow, True, stats.app_hit_rate(app)]
-            )
+    sweep = Sweep(
+        base=base,
+        axes={
+            "engine_overrides.credit_bytes": [float(c) for c in CREDITS],
+            "engine_overrides.hill_shadow_bytes": [float(s) for s in SHADOWS],
+        },
+    )
+    for grid_result in sweep.run().results:
+        overrides = grid_result.scenario.engine_overrides
+        result.rows.append(
+            [
+                int(overrides["credit_bytes"]),
+                int(overrides["hill_shadow_bytes"]),
+                True,
+                grid_result.hit_rates[app],
+            ]
+        )
     # Resize-on-miss ablation at the paper's default constants.
     for resize_on_miss in (True, False):
-        _, stats = replay_apps(
-            trace, "cliffhanger", seed=seed, resize_on_miss=resize_on_miss
+        ablation = run_scenario(
+            base.replace(
+                engine_overrides={"resize_on_miss": resize_on_miss}
+            )
         )
         result.rows.append(
-            [4096, 1 << 20, resize_on_miss, stats.app_hit_rate(app)]
+            [4096, 1 << 20, resize_on_miss, ablation.hit_rates[app]]
         )
     result.notes = (
         "expected: small credits (1-4KB) at or near the best hit rate; "

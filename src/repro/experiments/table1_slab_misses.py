@@ -10,12 +10,12 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.experiments.common import (
-    ExperimentResult,
+from repro.experiments.common import ExperimentResult
+from repro.sim import (
     FULL_SCALE,
-    load_trace,
-    replay_apps,
-    solver_plan_for_app,
+    Scenario,
+    load_workload,
+    run_scenario,
 )
 
 APPS = (4, 6)
@@ -37,11 +37,22 @@ def _shares(stats, app: str) -> Dict[int, Dict[str, float]]:
 
 
 def run(scale: float = FULL_SCALE, seed: int = 0) -> ExperimentResult:
-    trace = load_trace(scale=scale, seed=seed, apps=list(APPS))
+    trace = load_workload(
+        "memcachier", scale=scale, seed=seed, apps=list(APPS)
+    )
     names = trace.app_names
-    _, default_stats = replay_apps(trace, "default")
-    plans = {app: solver_plan_for_app(trace, app) for app in names}
-    _, solver_stats = replay_apps(trace, "planned", plans=plans)
+    base = Scenario(
+        workload="memcachier",
+        workload_params={"apps": list(APPS)},
+        scale=scale,
+        seed=seed,
+    )
+    default_stats = run_scenario(
+        base.replace(scheme="default"), keep_server=True
+    ).stats
+    solver_stats = run_scenario(
+        base.replace(scheme="planned", plans="solver"), keep_server=True
+    ).stats
     result = ExperimentResult(
         experiment_id="tab1",
         title="Misses by slab class: default vs Dynacache solver",

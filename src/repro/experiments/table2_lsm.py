@@ -10,24 +10,26 @@ small ones.
 
 from __future__ import annotations
 
-from repro.experiments.common import (
-    ExperimentResult,
-    FULL_SCALE,
-    load_trace,
-    replay_apps,
-    solver_plan_for_app,
-)
+from repro.experiments.common import ExperimentResult
+from repro.sim import FULL_SCALE, Scenario, load_workload, run_scenario
 
 APPS = (3, 4, 5)
 
 
 def run(scale: float = FULL_SCALE, seed: int = 0) -> ExperimentResult:
-    trace = load_trace(scale=scale, seed=seed, apps=list(APPS))
+    trace = load_workload(
+        "memcachier", scale=scale, seed=seed, apps=list(APPS)
+    )
     names = trace.app_names
-    _, default_stats = replay_apps(trace, "default")
-    _, lsm_stats = replay_apps(trace, "lsm")
-    plans = {app: solver_plan_for_app(trace, app) for app in names}
-    _, solver_stats = replay_apps(trace, "planned", plans=plans)
+    base = Scenario(
+        workload="memcachier",
+        workload_params={"apps": list(APPS)},
+        scale=scale,
+        seed=seed,
+    )
+    default = run_scenario(base.replace(scheme="default"))
+    lsm = run_scenario(base.replace(scheme="lsm"))
+    solver = run_scenario(base.replace(scheme="planned", plans="solver"))
     result = ExperimentResult(
         experiment_id="tab2",
         title="Hit rates: slab default vs log-structured vs solver",
@@ -43,9 +45,9 @@ def run(scale: float = FULL_SCALE, seed: int = 0) -> ExperimentResult:
         result.rows.append(
             [
                 app,
-                default_stats.app_hit_rate(app),
-                lsm_stats.app_hit_rate(app),
-                solver_stats.app_hit_rate(app),
+                default.hit_rates[app],
+                lsm.hit_rates[app],
+                solver.hit_rates[app],
             ]
         )
     result.notes = (

@@ -14,14 +14,10 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.allocation.dynacache import DynacacheSolver
-from repro.experiments.common import (
-    ExperimentResult,
-    FULL_SCALE,
-    load_trace,
-    replay_apps,
-)
+from repro.experiments.common import ExperimentResult
 from repro.profiling.hrc import HitRateCurve
 from repro.profiling.stack_distance import StackDistanceProfiler
+from repro.sim import FULL_SCALE, Scenario, load_workload, run_scenario
 
 APPS = (1, 2, 3, 4, 5)
 
@@ -48,11 +44,20 @@ def _app_byte_curves(trace) -> Dict[str, HitRateCurve]:
 
 
 def run(scale: float = FULL_SCALE, seed: int = 0) -> ExperimentResult:
-    trace = load_trace(scale=scale, seed=seed, apps=list(APPS))
+    trace = load_workload(
+        "memcachier", scale=scale, seed=seed, apps=list(APPS)
+    )
     names = trace.app_names
     total_memory = sum(trace.reservations[app] for app in names)
 
-    _, original_stats = replay_apps(trace, "default")
+    base = Scenario(
+        workload="memcachier",
+        workload_params={"apps": list(APPS)},
+        scale=scale,
+        seed=seed,
+        scheme="default",
+    )
+    original = run_scenario(base)
     curves = _app_byte_curves(trace)
     frequencies = {
         app: sum(
@@ -66,7 +71,7 @@ def run(scale: float = FULL_SCALE, seed: int = 0) -> ExperimentResult:
         app: max(64 * 1024, plan.allocations.get(app, 0.0))
         for app in names
     }
-    _, solved_stats = replay_apps(trace, "default", budgets=new_budgets)
+    solved = run_scenario(base.replace(budgets=new_budgets))
 
     result = ExperimentResult(
         experiment_id="tab3",
@@ -86,8 +91,8 @@ def run(scale: float = FULL_SCALE, seed: int = 0) -> ExperimentResult:
                 app,
                 trace.reservations[app] / total_memory * 100.0,
                 new_budgets[app] / total_memory * 100.0,
-                original_stats.app_hit_rate(app),
-                solved_stats.app_hit_rate(app),
+                original.hit_rates[app],
+                solved.hit_rates[app],
             ]
         )
     result.notes = (

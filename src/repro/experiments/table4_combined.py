@@ -17,13 +17,14 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.experiments.common import (
-    ExperimentResult,
+from repro.experiments.common import ExperimentResult
+from repro.sim import (
     FULL_SCALE,
     GEOMETRY,
-    load_trace,
+    Scenario,
+    load_workload,
     profile_app_classes,
-    replay_apps,
+    run_scenario,
 )
 
 APP = "app19"
@@ -67,20 +68,26 @@ def run(
     scale: float = FULL_SCALE,
     seed: int = 0,
 ) -> ExperimentResult:
-    trace = load_trace(scale=scale, seed=seed, apps=[19])
+    trace = load_workload("memcachier", scale=scale, seed=seed, apps=[19])
     plan = pinned_plan(trace, APP)
     total_budget = sum(plan.values())
-    budgets = {APP: total_budget}
+    base = Scenario(
+        workload="memcachier",
+        workload_params={"apps": [19]},
+        scale=scale,
+        seed=seed,
+        budgets={APP: total_budget},
+    )
     per_scheme: Dict[str, object] = {}
     for scheme, _label in SCHEMES:
-        _, stats = replay_apps(
-            trace,
-            scheme,
-            budgets=budgets,
-            seed=seed,
-            plans={APP: plan} if scheme == "planned" else None,
+        result = run_scenario(
+            base.replace(
+                scheme=scheme,
+                plans={APP: plan} if scheme == "planned" else None,
+            ),
+            keep_server=True,
         )
-        per_scheme[scheme] = stats
+        per_scheme[scheme] = result.stats
 
     classes = sorted(plan)
     result = ExperimentResult(

@@ -12,30 +12,35 @@ traces), and Cliffhanger beats both plain schemes.
 
 from __future__ import annotations
 
-from repro.experiments.common import (
-    ExperimentResult,
-    FULL_SCALE,
-    load_trace,
-    replay_apps,
-)
+from repro.experiments.common import ExperimentResult
+from repro.sim import FULL_SCALE, Scenario, load_workload, run_scenario
 
 APPS = (3, 4, 5)
 
 
 def run(scale: float = FULL_SCALE, seed: int = 0) -> ExperimentResult:
-    trace = load_trace(scale=scale, seed=seed, apps=list(APPS))
+    trace = load_workload(
+        "memcachier", scale=scale, seed=seed, apps=list(APPS)
+    )
     names = trace.app_names
+    base = Scenario(
+        workload="memcachier",
+        workload_params={"apps": list(APPS)},
+        scale=scale,
+        seed=seed,
+    )
     columns = [
-        ("lru", "default", {}),
-        ("facebook", "default", {"policy": "facebook"}),
-        ("arc", "default", {"policy": "arc"}),
-        ("cliffhanger+lru", "cliffhanger", {}),
-        ("cliffhanger+facebook", "hill", {"policy": "facebook"}),
+        ("lru", "default", "lru"),
+        ("facebook", "default", "facebook"),
+        ("arc", "default", "arc"),
+        ("cliffhanger+lru", "cliffhanger", "lru"),
+        ("cliffhanger+facebook", "hill", "facebook"),
     ]
-    stats_by_column = {}
-    for column_name, scheme, extra in columns:
-        _, stats = replay_apps(trace, scheme, seed=seed, **extra)
-        stats_by_column[column_name] = stats
+    results_by_column = {}
+    for column_name, scheme, policy in columns:
+        results_by_column[column_name] = run_scenario(
+            base.replace(scheme=scheme, policy=policy)
+        )
     result = ExperimentResult(
         experiment_id="tab5",
         title="Eviction schemes: LRU vs Facebook vs ARC vs Cliffhanger",
@@ -46,7 +51,7 @@ def run(scale: float = FULL_SCALE, seed: int = 0) -> ExperimentResult:
         result.rows.append(
             [app]
             + [
-                stats_by_column[name].app_hit_rate(app)
+                results_by_column[name].hit_rates[app]
                 for name, _, _ in columns
             ]
         )

@@ -1,0 +1,17 @@
+"""Shared simulation defaults.
+
+One slab geometry and two canonical trace scales, shared by the scenario
+runner, the experiment suite and the benchmark harness so their compiled
+traces hit the same cache entries.
+"""
+
+from __future__ import annotations
+
+from repro.cache.slabs import SlabGeometry
+
+#: The slab ladder every simulation uses unless a scenario overrides it.
+GEOMETRY = SlabGeometry.default()
+
+#: Default trace scale for full runs and for the pytest benchmarks.
+FULL_SCALE = 0.25
+BENCH_SCALE = 0.03

@@ -1,0 +1,129 @@
+"""Profiling and solver planning over traces.
+
+Per-slab-class hit-rate-curve profiling (exact Mattson stack distances or
+the Mimir bucket estimator) and the Dynacache solver pipeline that turns
+one application's week of requests into a byte plan per slab class. Used
+by the ``planned`` scheme (``Scenario(plans="solver")``) and by the
+figure/table runners that inspect curves directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple, Union
+
+from repro.allocation.dynacache import DynacacheSolver
+from repro.allocation.lookahead import LookAheadAllocator
+from repro.cache.item import CacheItem
+from repro.cache.stats import OP_GET
+from repro.common.errors import ConfigurationError
+from repro.profiling.hrc import HitRateCurve
+from repro.profiling.mimir import MimirProfiler
+from repro.profiling.stack_distance import StackDistanceProfiler
+from repro.sim.defaults import GEOMETRY
+from repro.workloads.compiled import CompiledTrace
+from repro.workloads.trace import Request
+
+
+def classify(request: Request) -> int:
+    """Slab class of one request (shared with the engines)."""
+    item = CacheItem(
+        key=request.key,
+        value_size=request.value_size,
+        key_size=request.key_size,
+    )
+    return GEOMETRY.class_for_size(item.total_size)
+
+
+def profile_app_classes(
+    requests: Union[Iterable[Request], CompiledTrace],
+    estimator: str = "exact",
+) -> Tuple[Dict[int, HitRateCurve], Dict[int, int]]:
+    """Per-slab-class hit-rate curves (size axis: items) and GET counts.
+
+    ``requests`` may be a plain request iterable or a
+    :class:`CompiledTrace` (whose precomputed slab classes skip the
+    per-request :func:`classify` allocation). ``estimator``: ``exact``
+    uses Mattson stack distances; ``mimir`` the bucket estimator Dynacache
+    really used (coarser, reproducing its estimation error).
+    """
+    if estimator == "exact":
+        make = StackDistanceProfiler
+    elif estimator == "mimir":
+        make = MimirProfiler
+    else:
+        raise ConfigurationError(f"unknown estimator {estimator!r}")
+    profilers: Dict[int, object] = {}
+    frequencies: Dict[int, int] = {}
+    if isinstance(requests, CompiledTrace):
+        trace = requests
+        for key, op, class_index in zip(
+            trace.keys, trace.op_codes, trace.slab_classes
+        ):
+            if op != OP_GET:
+                continue
+            profiler = profilers.get(class_index)
+            if profiler is None:
+                profiler = profilers.setdefault(class_index, make())
+            profiler.record(key)
+            frequencies[class_index] = frequencies.get(class_index, 0) + 1
+    else:
+        for request in requests:
+            if request.op != "get":
+                continue
+            class_index = classify(request)
+            profiler = profilers.get(class_index)
+            if profiler is None:
+                profiler = profilers.setdefault(class_index, make())
+            profiler.record(request.key)
+            frequencies[class_index] = frequencies.get(class_index, 0) + 1
+    curves = {
+        class_index: HitRateCurve.from_stack_distances(profiler.distances)
+        for class_index, profiler in profilers.items()
+        if len(profiler.distances) >= 2
+    }
+    return curves, {c: frequencies[c] for c in curves}
+
+
+def solver_plan_for_app(
+    trace,
+    app: str,
+    estimator: str = "mimir",
+    allocator: str = "dynacache",
+    budget: Optional[float] = None,
+) -> Dict[int, float]:
+    """Run the Dynacache solver on one app's week of requests.
+
+    Returns a byte plan per slab class, summing to ``budget`` (the app's
+    reservation when not given).
+    """
+    compiled_for = getattr(trace, "compiled_for", None)
+    if compiled_for is not None:
+        app_stream: Union[Iterable[Request], CompiledTrace] = compiled_for(app)
+    else:
+        app_stream = trace.app_requests(app)
+    curves_items, freqs = profile_app_classes(
+        app_stream, estimator=estimator
+    )
+    if not curves_items:
+        return {}
+    if budget is None:
+        budget = trace.reservations[app]
+    curves_bytes = {
+        class_index: curve.scale_sizes(
+            GEOMETRY.chunk_size(class_index), unit="bytes"
+        )
+        for class_index, curve in curves_items.items()
+    }
+    granularity = max(
+        GEOMETRY.chunk_size(class_index) for class_index in curves_bytes
+    )
+    granularity = min(granularity, budget / max(1, len(curves_bytes)))
+    granularity = max(granularity, 64.0)
+    if allocator == "dynacache":
+        solver = DynacacheSolver(granularity=granularity)
+    elif allocator == "lookahead":
+        solver = LookAheadAllocator(granularity=granularity)
+    else:
+        raise ConfigurationError(f"unknown allocator {allocator!r}")
+    plan = solver.allocate(curves_bytes, freqs, budget)
+    return dict(plan.allocations)

@@ -1,0 +1,93 @@
+"""Decorator-based registries for engine schemes and workloads.
+
+The original harness dispatched on scheme names through an ``if/elif``
+chain and hard-coded the Memcachier loader; these registries make both
+axes pluggable::
+
+    from repro.sim import register_scheme
+
+    @register_scheme("my-scheme")
+    def build(app, budget_bytes, *, geometry, scale, seed, policy, plan,
+              **overrides):
+        return MyEngine(app, budget_bytes, geometry)
+
+Scheme builders receive ``(app, budget_bytes)`` positionally plus the
+keyword context the runner supplies (``geometry``, ``scale``, ``seed``,
+``policy``, ``plan`` and any per-scenario overrides) and return an
+:class:`~repro.cache.engines.Engine`.
+
+Workload builders receive ``(scale, seed)`` plus the scenario's
+``workload_params`` and return a trace-like object exposing
+``app_names``, ``reservations``, ``scale``, ``seed`` and a ``compiled``
+:class:`~repro.workloads.compiled.CompiledTrace` (see
+:mod:`repro.sim.workloads`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, TypeVar
+
+from repro.common.errors import ConfigurationError
+
+Builder = TypeVar("Builder", bound=Callable)
+
+
+class Registry:
+    """A name -> factory mapping with decorator registration."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, Callable] = {}
+
+    def register(self, name: str) -> Callable[[Builder], Builder]:
+        """Decorator: ``@registry.register("name")``."""
+        if not name or not isinstance(name, str):
+            raise ConfigurationError(
+                f"{self.kind} name must be a non-empty string, got {name!r}"
+            )
+
+        def _register(builder: Builder) -> Builder:
+            if name in self._entries:
+                raise ConfigurationError(
+                    f"{self.kind} {name!r} is already registered"
+                )
+            self._entries[name] = builder
+            return builder
+
+        return _register
+
+    def get(self, name: str) -> Callable:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown {self.kind} {name!r}; known: "
+                f"{', '.join(sorted(self._entries))}"
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Engine scheme registry (``default``, ``cliffhanger``, ...).
+SCHEMES = Registry("scheme")
+
+#: Workload registry (``memcachier``, ``zipf``, ``facebook``).
+WORKLOADS = Registry("workload")
+
+register_scheme = SCHEMES.register
+register_workload = WORKLOADS.register
+
+
+def list_schemes() -> List[str]:
+    return SCHEMES.names()
+
+
+def list_workloads() -> List[str]:
+    return WORKLOADS.names()

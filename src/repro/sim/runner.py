@@ -1,0 +1,171 @@
+"""Executing scenarios: the :func:`run_scenario` facade.
+
+The replay core shared by the legacy ``replay_apps`` helper, the
+experiment runners and the sweep executor. One code path builds the
+server (scheme registry + per-app budgets with reservation fallback),
+resolves solver plans, and replays the compiled trace through the
+allocation-free fast path.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.cache.server import CacheServer, Observer
+from repro.cache.stats import StatsRegistry
+from repro.common.errors import ConfigurationError
+from repro.sim.defaults import GEOMETRY
+from repro.sim.planning import solver_plan_for_app
+from repro.sim.registries import SCHEMES
+from repro.sim.scenario import SOLVER_PLANS, Scenario, ScenarioResult
+from repro.sim.workloads import load_workload
+from repro.workloads.trace import Request
+
+
+def _resolve_budget(scenario: Scenario, trace, app: str) -> float:
+    """Budget override if given for this app, else the reservation.
+
+    ``budgets`` may be partial: apps it does not mention keep their
+    workload reservation instead of raising.
+    """
+    if scenario.budgets is not None and app in scenario.budgets:
+        return scenario.budgets[app]
+    return trace.reservations[app]
+
+
+def _resolve_plans(
+    scenario: Scenario, trace, apps: List[str]
+) -> Optional[Dict[str, Dict[int, float]]]:
+    if scenario.plans == SOLVER_PLANS:
+        # Plans must fit the budget the engine will actually get, which
+        # a scenario's ``budgets`` may override per app.
+        return {
+            app: solver_plan_for_app(
+                trace, app, budget=_resolve_budget(scenario, trace, app)
+            )
+            for app in apps
+        }
+    return scenario.plans
+
+
+def _chosen_apps(scenario: Scenario, trace) -> List[str]:
+    if scenario.apps is None:
+        return list(trace.app_names)
+    unknown = [app for app in scenario.apps if app not in trace.reservations]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown app(s) {', '.join(map(repr, unknown))} for workload "
+            f"{scenario.workload!r}; known: {', '.join(trace.app_names)}"
+        )
+    return list(scenario.apps)
+
+
+def build_server(
+    scenario: Scenario,
+    trace,
+    plans: Optional[Dict[str, Dict[int, float]]] = None,
+) -> CacheServer:
+    """One engine per replayed app, built through the scheme registry."""
+    chosen = _chosen_apps(scenario, trace)
+    if plans is None:
+        plans = _resolve_plans(scenario, trace, chosen)
+    builder = SCHEMES.get(scenario.scheme)
+    server = CacheServer(GEOMETRY)
+    for app in chosen:
+        server.add_app(
+            builder(
+                app,
+                _resolve_budget(scenario, trace, app),
+                geometry=GEOMETRY,
+                scale=trace.scale,
+                seed=scenario.seed,
+                policy=scenario.policy,
+                plan=plans.get(app) if plans else None,
+                **scenario.engine_overrides,
+            )
+        )
+    return server
+
+
+def replay_on_trace(
+    scenario: Scenario,
+    trace,
+    observer: Optional[Observer] = None,
+) -> Tuple[CacheServer, StatsRegistry, float]:
+    """Replay an already-loaded trace under ``scenario``'s scheme.
+
+    Returns ``(server, stats, elapsed_seconds)``. Compiled traces take
+    the allocation-free fast path; plain request iterables (or attached
+    observers) fall back to the object path with identical results.
+    """
+    chosen = _chosen_apps(scenario, trace)
+    server = build_server(scenario, trace)
+    if observer is not None:
+        server.add_observer(observer)
+    compiled = getattr(trace, "compiled", None)
+    started = time.perf_counter()
+    if compiled is not None:
+        if set(chosen) != set(trace.app_names):
+            compiled = compiled.select_apps(chosen)
+        server.replay_compiled(compiled)
+    else:
+        if set(chosen) == set(trace.app_names):
+            stream: Iterable[Request] = trace.requests()
+        else:
+            from repro.workloads.trace import merge_by_time
+
+            stream = merge_by_time(
+                [trace.app_requests(app) for app in chosen]
+            )
+        server.replay(stream)
+    elapsed = time.perf_counter() - started
+    return server, server.stats, elapsed
+
+
+def run_scenario(
+    scenario: Scenario,
+    *,
+    baseline: Optional[ScenarioResult] = None,
+    observer: Optional[Observer] = None,
+    keep_server: bool = False,
+) -> ScenarioResult:
+    """Load the workload, replay it, and report per-app results.
+
+    Args:
+        scenario: The declarative spec to execute.
+        baseline: Optional previous result; when given, the returned
+            result's ``miss_reductions`` compares against it per app.
+        observer: Optional per-request observer (timelines, profilers);
+            forces the object replay path, same outcomes.
+        keep_server: Attach the live ``server`` and ``stats`` to the
+            result for callers that need engine internals.
+    """
+    trace = load_workload(
+        scenario.workload,
+        scale=scenario.scale,
+        seed=scenario.seed,
+        **scenario.workload_params,
+    )
+    server, stats, elapsed = replay_on_trace(scenario, trace, observer=observer)
+    apps = (
+        list(scenario.apps) if scenario.apps is not None else list(trace.app_names)
+    )
+    total = stats.total
+    requests = total.gets + total.sets
+    result = ScenarioResult(
+        scenario=scenario,
+        hit_rates={app: stats.app_hit_rate(app) for app in apps},
+        overall_hit_rate=total.hit_rate(),
+        requests=requests,
+        gets=total.gets,
+        elapsed_seconds=elapsed,
+        requests_per_sec=requests / elapsed if elapsed > 0 else 0.0,
+        budgets={app: _resolve_budget(scenario, trace, app) for app in apps},
+    )
+    if baseline is not None:
+        result.miss_reductions = result.miss_reductions_vs(baseline)
+    if keep_server:
+        result.server = server
+        result.stats = stats
+    return result

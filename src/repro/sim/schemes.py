@@ -1,0 +1,219 @@
+"""Built-in engine schemes, registered on :data:`repro.sim.SCHEMES`.
+
+Each builder instantiates one tenant engine; the if/elif factory the
+experiment harness used to carry lives on only as the thin
+:func:`make_engine` dispatch wrapper.
+
+Schemes: ``default`` (stock FCFS), ``planned`` (a solver plan), ``lsm``
+(global LRU), ``hill`` (Algorithm 1 only, any policy), ``cliff-only``,
+``hill-only`` and ``cliffhanger`` (the combined system).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cache.engines import (
+    Engine,
+    FirstComeFirstServeEngine,
+    PlannedEngine,
+)
+from repro.cache.log_structured import GlobalLRUEngine
+from repro.cache.slabs import SlabGeometry
+from repro.common.errors import ConfigurationError
+from repro.core.engine import CliffhangerEngine, HillClimbEngine
+from repro.sim.defaults import GEOMETRY
+from repro.sim.registries import SCHEMES, register_scheme
+
+
+def scaled_cliff_kwargs(scale: float) -> Dict[str, int]:
+    """Shrink probe/gate constants along with queue sizes at small scale.
+
+    At full scale the paper constants apply (128-item probes, 1000-item
+    gate); scaled-down traces shrink queues proportionally, so keeping
+    the constants would disable cliff scaling entirely.
+    """
+    if scale >= 0.5:
+        return {}
+    return {
+        "probe_items": max(12, int(128 * scale)),
+        "min_cliff_items": max(100, int(600 * scale)),
+        # Credits move a fixed fraction of (scaled) memory per shadow
+        # hit; shadow-hit counts scale with the request count, so the
+        # credit must scale with memory to converge in the same number
+        # of trace passes.
+        "credit_bytes": max(512.0, 4096 * scale * 2),
+        # The shadow approximates the *local* gradient only while it is
+        # small relative to the queue (paper ratio: 1 MB shadows on
+        # ~50 MB applications); scale it with the queues or the shadow
+        # hit rate measures total tail mass instead.
+        "hill_shadow_bytes": max(16 << 10, int((1 << 20) * scale)),
+    }
+
+
+@register_scheme("default")
+def _build_default(
+    app: str,
+    budget_bytes: float,
+    *,
+    geometry: SlabGeometry,
+    policy: str = "lru",
+    **_context,
+) -> Engine:
+    return FirstComeFirstServeEngine(app, budget_bytes, geometry, policy=policy)
+
+
+@register_scheme("planned")
+def _build_planned(
+    app: str,
+    budget_bytes: float,
+    *,
+    geometry: SlabGeometry,
+    policy: str = "lru",
+    plan: Optional[Dict[int, float]] = None,
+    **_context,
+) -> Engine:
+    if plan is None:
+        raise ConfigurationError("planned engine needs a plan")
+    return PlannedEngine(app, budget_bytes, geometry, plan, policy=policy)
+
+
+@register_scheme("lsm")
+def _build_lsm(
+    app: str,
+    budget_bytes: float,
+    *,
+    geometry: SlabGeometry,
+    policy: str = "lru",
+    **_context,
+) -> Engine:
+    return GlobalLRUEngine(app, budget_bytes, geometry, policy=policy)
+
+
+@register_scheme("hill")
+def _build_hill(
+    app: str,
+    budget_bytes: float,
+    *,
+    geometry: SlabGeometry,
+    scale: float = 1.0,
+    seed: int = 0,
+    policy: str = "lru",
+    plan: Optional[Dict[int, float]] = None,
+    **overrides,
+) -> Engine:
+    scaled = scaled_cliff_kwargs(scale)
+    hill_kwargs = {}
+    if "credit_bytes" in scaled:
+        hill_kwargs["credit_bytes"] = scaled["credit_bytes"]
+    if "hill_shadow_bytes" in scaled:
+        hill_kwargs["shadow_bytes"] = scaled["hill_shadow_bytes"]
+    hill_kwargs.update(overrides)
+    return HillClimbEngine(
+        app, budget_bytes, geometry, policy=policy, seed=seed, **hill_kwargs
+    )
+
+
+def _build_cliffhanger_variant(
+    app: str,
+    budget_bytes: float,
+    geometry: SlabGeometry,
+    scale: float,
+    seed: int,
+    policy: str,
+    overrides: dict,
+    scheme: str,
+    **variant,
+) -> Engine:
+    if policy != "lru":
+        # Cliff scaling assumes LRU rank semantics; silently ignoring a
+        # requested policy would make policy sweeps lie.
+        raise ConfigurationError(
+            f"scheme {scheme!r} supports only the 'lru' policy, got "
+            f"{policy!r}; use scheme 'hill' to combine hill climbing "
+            f"with other eviction policies"
+        )
+    kwargs = dict(scaled_cliff_kwargs(scale))
+    kwargs.update(overrides)
+    return CliffhangerEngine(
+        app, budget_bytes, geometry, seed=seed, **variant, **kwargs
+    )
+
+
+@register_scheme("cliff-only")
+def _build_cliff_only(
+    app: str,
+    budget_bytes: float,
+    *,
+    geometry: SlabGeometry,
+    scale: float = 1.0,
+    seed: int = 0,
+    policy: str = "lru",
+    plan: Optional[Dict[int, float]] = None,
+    **overrides,
+) -> Engine:
+    return _build_cliffhanger_variant(
+        app, budget_bytes, geometry, scale, seed, policy, overrides,
+        scheme="cliff-only", enable_hill_climbing=False,
+    )
+
+
+@register_scheme("hill-only")
+def _build_hill_only(
+    app: str,
+    budget_bytes: float,
+    *,
+    geometry: SlabGeometry,
+    scale: float = 1.0,
+    seed: int = 0,
+    policy: str = "lru",
+    plan: Optional[Dict[int, float]] = None,
+    **overrides,
+) -> Engine:
+    return _build_cliffhanger_variant(
+        app, budget_bytes, geometry, scale, seed, policy, overrides,
+        scheme="hill-only", enable_cliff_scaling=False,
+    )
+
+
+@register_scheme("cliffhanger")
+def _build_cliffhanger(
+    app: str,
+    budget_bytes: float,
+    *,
+    geometry: SlabGeometry,
+    scale: float = 1.0,
+    seed: int = 0,
+    policy: str = "lru",
+    plan: Optional[Dict[int, float]] = None,
+    **overrides,
+) -> Engine:
+    return _build_cliffhanger_variant(
+        app, budget_bytes, geometry, scale, seed, policy, overrides,
+        scheme="cliffhanger",
+    )
+
+
+def make_engine(
+    scheme: str,
+    app: str,
+    budget_bytes: float,
+    scale: float = 1.0,
+    seed: int = 0,
+    plan: Optional[Dict[int, float]] = None,
+    policy: str = "lru",
+    geometry: SlabGeometry = GEOMETRY,
+    **overrides,
+) -> Engine:
+    """Instantiate an engine by scheme name (registry dispatch)."""
+    builder = SCHEMES.get(scheme)
+    return builder(
+        app,
+        budget_bytes,
+        geometry=geometry,
+        scale=scale,
+        seed=seed,
+        policy=policy,
+        plan=plan,
+        **overrides,
+    )

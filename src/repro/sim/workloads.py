@@ -1,0 +1,366 @@
+"""Workload loaders, registered on :data:`repro.sim.WORKLOADS`.
+
+A workload builder takes ``(scale, seed, **params)`` and returns a
+*loaded trace*: an object with ``app_names``, ``reservations``,
+``requests_per_app``, ``scale``, ``seed`` and a cached ``compiled``
+:class:`~repro.workloads.compiled.CompiledTrace` that the replay fast
+path consumes. Three workloads ship out of the box:
+
+* ``memcachier`` -- the paper's synthetic 20-application trace
+  (``params``: ``apps`` (1-based spec indices), ``total_requests``);
+* ``zipf`` -- N independent Zipf tenants (``params``: ``apps``,
+  ``num_keys``, ``alpha``, ``value_size``, ``set_fraction``,
+  ``requests_per_app``, ``budget_fraction``);
+* ``facebook`` -- the ETC pool model from the 2012 Facebook study, or
+  the all-miss unique-key stream (``params``: ``apps``, ``num_keys``,
+  ``alpha``, ``get_fraction``, ``unique_keys``, ``requests_per_app``,
+  ``budget_bytes``).
+
+All three go through :data:`~repro.workloads.compiled.GLOBAL_TRACE_CACHE`
+so repeated scenario runs -- and sweep worker processes sharing the
+on-disk store -- never regenerate identical traces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.common.constants import ITEM_OVERHEAD_BYTES
+from repro.common.errors import ConfigurationError
+from repro.sim.defaults import FULL_SCALE, GEOMETRY
+from repro.sim.registries import WORKLOADS, register_workload
+from repro.workloads.compiled import CompiledTrace, GLOBAL_TRACE_CACHE
+from repro.workloads.facebook import (
+    FACEBOOK_GET_FRACTION,
+    FacebookETCStream,
+    UniqueKeyStream,
+)
+from repro.workloads.generators import RequestStream, ZipfStream
+from repro.workloads.memcachier import (
+    MemcachierTrace,
+    build_memcachier_trace,
+)
+from repro.workloads.sizes import FixedSize
+from repro.workloads.trace import merge_by_time
+
+
+@dataclass
+class CachedTrace:
+    """A :class:`MemcachierTrace`-compatible facade over a compiled trace.
+
+    Metadata (reservations, request counts, specs) comes from the cheap
+    analytic build; the request stream itself is a cached
+    :class:`CompiledTrace`, so repeated experiment runs -- and the ~17
+    runners sharing a scale/seed -- never regenerate it.
+    """
+
+    meta: MemcachierTrace
+    compiled: CompiledTrace
+
+    @property
+    def scale(self) -> float:
+        return self.meta.scale
+
+    @property
+    def seed(self) -> int:
+        return self.meta.seed
+
+    @property
+    def total_requests(self) -> int:
+        return self.meta.total_requests
+
+    @property
+    def reservations(self) -> Dict[str, float]:
+        return self.meta.reservations
+
+    @property
+    def requests_per_app(self) -> Dict[str, int]:
+        return self.meta.requests_per_app
+
+    @property
+    def specs(self):
+        return self.meta.specs
+
+    @property
+    def app_names(self) -> List[str]:
+        return self.meta.app_names
+
+    def requests(self):
+        return self.compiled.iter_requests()
+
+    def app_requests(self, app: str):
+        return self.compiled_for(app).iter_requests()
+
+    def compiled_for(self, app: str) -> CompiledTrace:
+        """One app's compiled sub-trace (stable-merge filtering keeps the
+        per-app order identical to regenerating the app's stream)."""
+        return self.compiled.for_app(app)
+
+
+@dataclass
+class SyntheticTrace:
+    """A loaded non-Memcachier workload: streams merged and compiled."""
+
+    scale: float
+    seed: int
+    reservations: Dict[str, float]
+    requests_per_app: Dict[str, int]
+    compiled: CompiledTrace
+
+    @property
+    def app_names(self) -> List[str]:
+        return list(self.reservations)
+
+    @property
+    def total_requests(self) -> int:
+        return sum(self.requests_per_app.values())
+
+    def requests(self):
+        return self.compiled.iter_requests()
+
+    def app_requests(self, app: str):
+        return self.compiled_for(app).iter_requests()
+
+    def compiled_for(self, app: str) -> CompiledTrace:
+        return self.compiled.for_app(app)
+
+
+def load_workload(name: str, scale: float = FULL_SCALE, seed: int = 0, **params):
+    """Build (or fetch from cache) the named workload's loaded trace."""
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be positive, got {scale}")
+    builder = WORKLOADS.get(name)
+    return builder(scale, seed, **params)
+
+
+def _params_tag(params: dict) -> str:
+    """A stable digest of workload params for trace-cache keys.
+
+    128 truncated sha256 bits: collisions would silently serve the wrong
+    cached trace, so a 32-bit checksum is not enough for large
+    programmatic sweeps over ``workload_params``.
+    """
+    payload = json.dumps(params, sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+# ---------------------------------------------------------------------------
+# memcachier
+# ---------------------------------------------------------------------------
+
+
+@register_workload("memcachier")
+def _load_memcachier(
+    scale: float,
+    seed: int,
+    apps: Optional[List[int]] = None,
+    total_requests: Optional[int] = None,
+) -> CachedTrace:
+    """The paper's synthetic 20-application Memcachier-like trace."""
+    meta = build_memcachier_trace(
+        scale=scale, seed=seed, apps=apps, total_requests=total_requests
+    )
+    app_part = "all" if apps is None else "-".join(str(a) for a in sorted(apps))
+    key = (
+        f"memcachier-scale{scale!r}-seed{seed}-apps{app_part}"
+        f"-total{total_requests if total_requests is not None else 'auto'}"
+    )
+    compiled = GLOBAL_TRACE_CACHE.get_or_compile(key, meta.requests, GEOMETRY)
+    return CachedTrace(meta, compiled)
+
+
+# ---------------------------------------------------------------------------
+# zipf
+# ---------------------------------------------------------------------------
+
+_ZIPF_APP_DEFAULTS = {
+    "num_keys": 40_000,
+    "alpha": 1.0,
+    "value_size": 256,
+    "set_fraction": 0.0,
+    "requests_per_app": 150_000,
+    "budget_fraction": 0.25,
+}
+
+
+def _normalize_apps(
+    apps: Union[int, List[str], Dict[str, dict], None],
+    prefix: str,
+    default_count: int,
+) -> Dict[str, dict]:
+    """``apps`` may be a count, a list of names, or a name->overrides map."""
+    if apps is None:
+        apps = default_count
+    if isinstance(apps, int):
+        if apps < 1:
+            raise ConfigurationError(f"need at least one app, got {apps}")
+        return {f"{prefix}{i:02d}": {} for i in range(1, apps + 1)}
+    if isinstance(apps, (list, tuple)):
+        return {str(name): {} for name in apps}
+    if isinstance(apps, dict):
+        return {str(name): dict(overrides or {}) for name, overrides in apps.items()}
+    raise ConfigurationError(
+        f"apps must be a count, a list of names or a name->params map, "
+        f"got {apps!r}"
+    )
+
+
+def _zipf_reservation(num_keys: int, value_size: int, fraction: float) -> float:
+    """Bytes covering ``fraction`` of the key universe at chunk granularity."""
+    item_bytes = value_size + 14 + ITEM_OVERHEAD_BYTES  # ~14-byte keys
+    chunk = GEOMETRY.chunk_size(GEOMETRY.class_for_size(item_bytes))
+    return max(64 * 1024, chunk * num_keys * fraction)
+
+
+@register_workload("zipf")
+def _load_zipf(scale: float, seed: int, apps=None, **defaults) -> SyntheticTrace:
+    """N independent Zipf tenants with fixed-size values.
+
+    Per-app parameters (overridable globally via ``defaults`` or per app
+    via an ``apps`` mapping): ``num_keys``, ``alpha``, ``value_size``,
+    ``set_fraction``, ``requests_per_app``, ``budget_fraction``.
+    ``scale`` multiplies key universes and request counts together.
+    """
+    unknown = set(defaults) - set(_ZIPF_APP_DEFAULTS)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown zipf workload params: {', '.join(sorted(unknown))}"
+        )
+    app_map = _normalize_apps(apps, "zipf", default_count=2)
+    streams: List[RequestStream] = []
+    reservations: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for position, (name, overrides) in enumerate(app_map.items()):
+        unknown = set(overrides) - set(_ZIPF_APP_DEFAULTS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown zipf app params for {name!r}: "
+                f"{', '.join(sorted(unknown))}"
+            )
+        params = dict(_ZIPF_APP_DEFAULTS)
+        params.update(defaults)
+        params.update(overrides)
+        num_keys = max(50, int(params["num_keys"] * scale))
+        requests = max(500, int(params["requests_per_app"] * scale))
+        streams.append(
+            ZipfStream(
+                app=name,
+                num_keys=num_keys,
+                alpha=params["alpha"],
+                size_model=FixedSize(params["value_size"]),
+                set_fraction=params["set_fraction"],
+                seed=seed + position * 1000,
+            )
+        )
+        reservations[name] = _zipf_reservation(
+            num_keys, params["value_size"], params["budget_fraction"]
+        )
+        counts[name] = requests
+    key = f"zipf-scale{scale!r}-seed{seed}-{_params_tag({'apps': app_map, 'defaults': defaults})}"
+    compiled = GLOBAL_TRACE_CACHE.get_or_compile(
+        key,
+        lambda: merge_by_time(
+            [
+                stream.generate(counts[stream.app], 3600.0)
+                for stream in streams
+            ]
+        ),
+        GEOMETRY,
+    )
+    return SyntheticTrace(
+        scale=scale,
+        seed=seed,
+        reservations=reservations,
+        requests_per_app=counts,
+        compiled=compiled,
+    )
+
+
+# ---------------------------------------------------------------------------
+# facebook
+# ---------------------------------------------------------------------------
+
+_FACEBOOK_APP_DEFAULTS = {
+    "num_keys": 200_000,
+    "alpha": 0.95,
+    "get_fraction": FACEBOOK_GET_FRACTION,
+    "unique_keys": False,
+    "requests_per_app": 200_000,
+    "budget_bytes": 32 << 20,
+}
+
+
+@register_workload("facebook")
+def _load_facebook(scale: float, seed: int, apps=None, **defaults) -> SyntheticTrace:
+    """Facebook ETC pools (or the all-miss unique-key worst case).
+
+    Per-app parameters: ``num_keys``, ``alpha``, ``get_fraction``,
+    ``unique_keys`` (switches to the section-5.6 worst-case stream),
+    ``requests_per_app``, ``budget_bytes``. ``scale`` multiplies key
+    universes, request counts and budgets together.
+    """
+    unknown = set(defaults) - set(_FACEBOOK_APP_DEFAULTS)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown facebook workload params: {', '.join(sorted(unknown))}"
+        )
+    app_map = _normalize_apps(apps, "etc", default_count=1)
+    streams: List[RequestStream] = []
+    reservations: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for position, (name, overrides) in enumerate(app_map.items()):
+        unknown = set(overrides) - set(_FACEBOOK_APP_DEFAULTS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown facebook app params for {name!r}: "
+                f"{', '.join(sorted(unknown))}"
+            )
+        params = dict(_FACEBOOK_APP_DEFAULTS)
+        params.update(defaults)
+        params.update(overrides)
+        requests = max(500, int(params["requests_per_app"] * scale))
+        app_seed = seed + position * 1000
+        if params["unique_keys"]:
+            streams.append(
+                UniqueKeyStream(
+                    app=name,
+                    get_fraction=params["get_fraction"],
+                    seed=app_seed,
+                )
+            )
+        else:
+            streams.append(
+                FacebookETCStream(
+                    app=name,
+                    num_keys=max(100, int(params["num_keys"] * scale)),
+                    alpha=params["alpha"],
+                    get_fraction=params["get_fraction"],
+                    seed=app_seed,
+                )
+            )
+        reservations[name] = max(64 * 1024, params["budget_bytes"] * scale)
+        counts[name] = requests
+    key = (
+        f"facebook-scale{scale!r}-seed{seed}-"
+        f"{_params_tag({'apps': app_map, 'defaults': defaults})}"
+    )
+    compiled = GLOBAL_TRACE_CACHE.get_or_compile(
+        key,
+        lambda: merge_by_time(
+            [
+                stream.generate(counts[stream.app], 3600.0)
+                for stream in streams
+            ]
+        ),
+        GEOMETRY,
+    )
+    return SyntheticTrace(
+        scale=scale,
+        seed=seed,
+        reservations=reservations,
+        requests_per_app=counts,
+        compiled=compiled,
+    )

@@ -25,7 +25,9 @@ class TestRegistry:
             assert len(policy) == 0
 
     def test_unknown_policy(self):
-        with pytest.raises(ValueError):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
             make_policy("nope", 10)
 
 

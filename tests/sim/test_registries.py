@@ -1,0 +1,134 @@
+"""Scheme/workload registry behaviour and error paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.engines import FirstComeFirstServeEngine
+from repro.common.errors import ConfigurationError
+from repro.sim import (
+    Registry,
+    SCHEMES,
+    WORKLOADS,
+    Scenario,
+    list_schemes,
+    list_workloads,
+    make_engine,
+    run_scenario,
+)
+
+
+def test_builtin_schemes_registered():
+    # Subset, not equality: other tests may register extra schemes and
+    # the global registry forbids re-registration, so leaks are sticky.
+    assert {
+        "default",
+        "planned",
+        "lsm",
+        "hill",
+        "cliff-only",
+        "hill-only",
+        "cliffhanger",
+    } <= set(list_schemes())
+
+
+def test_builtin_workloads_registered():
+    assert {"memcachier", "zipf", "facebook"} <= set(list_workloads())
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(ConfigurationError, match="unknown scheme 'nope'"):
+        SCHEMES.get("nope")
+    with pytest.raises(ConfigurationError, match="unknown scheme"):
+        make_engine("nope", "app", 1 << 20)
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ConfigurationError, match="unknown workload"):
+        WORKLOADS.get("nope")
+
+
+def test_run_scenario_surfaces_unknown_names():
+    with pytest.raises(ConfigurationError, match="unknown workload"):
+        run_scenario(Scenario(workload="nope", scale=0.01))
+    with pytest.raises(ConfigurationError, match="unknown scheme"):
+        run_scenario(
+            Scenario(
+                scheme="nope",
+                workload="zipf",
+                scale=0.01,
+                workload_params={"num_keys": 100, "requests_per_app": 600},
+            )
+        )
+
+
+def test_duplicate_registration_rejected():
+    registry = Registry("thing")
+
+    @registry.register("x")
+    def build_x():
+        return 1
+
+    with pytest.raises(ConfigurationError, match="already registered"):
+
+        @registry.register("x")
+        def build_x_again():
+            return 2
+
+    assert registry.get("x") is build_x
+
+
+def test_bad_registration_name_rejected():
+    registry = Registry("thing")
+    with pytest.raises(ConfigurationError):
+        registry.register("")
+    with pytest.raises(ConfigurationError):
+        registry.register(None)
+
+
+def test_registered_scheme_usable_from_scenario():
+    """A decorator-registered scheme plugs straight into run_scenario."""
+    name = "test-only-half-budget"
+    if name not in SCHEMES:
+
+        @SCHEMES.register(name)
+        def _build(app, budget_bytes, *, geometry, policy="lru", **_context):
+            return FirstComeFirstServeEngine(
+                app, budget_bytes / 2, geometry, policy=policy
+            )
+
+    scenario = Scenario(
+        scheme=name,
+        workload="zipf",
+        scale=0.05,
+        workload_params={
+            "apps": 1,
+            "num_keys": 2_000,
+            "requests_per_app": 20_000,
+        },
+    )
+    result = run_scenario(scenario, keep_server=True)
+    engine = result.server.engines["zipf01"]
+    assert engine.budget_bytes == pytest.approx(
+        result.budgets["zipf01"] / 2
+    )
+    assert 0.0 < result.overall_hit_rate < 1.0
+
+
+def test_workload_bad_params_rejected():
+    with pytest.raises(ConfigurationError, match="unknown zipf"):
+        run_scenario(
+            Scenario(
+                workload="zipf",
+                scale=0.01,
+                workload_params={"num_kyes": 100},
+            )
+        )
+    with pytest.raises(ConfigurationError, match="unknown facebook"):
+        run_scenario(
+            Scenario(
+                workload="facebook",
+                scale=0.01,
+                workload_params={"zipf_alpha": 1.0},
+            )
+        )
