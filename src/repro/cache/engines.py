@@ -248,13 +248,19 @@ class SlabEngineBase(Engine):
             self._queue(old_class).remove(key)
             del self._class_of_key[key]
         evicted = self._insert(key, class_index, chunk)
+        if evicted is None:
+            # The engine bypassed the store (no queue can ever hold this
+            # item): the key is not resident and must not be recorded as
+            # such, or later GETs/DELETEs would see a ghost entry.
+            return 0
         self._class_of_key[key] = class_index
         self.ops.inserts += 1
         return evicted
 
     @abc.abstractmethod
-    def _insert(self, key: object, class_index: int, chunk: int) -> int:
-        """Engine-specific insertion; returns number of evictions."""
+    def _insert(self, key: object, class_index: int, chunk: int) -> Optional[int]:
+        """Engine-specific insertion; returns the number of evictions, or
+        ``None`` when the store was bypassed (the item is *not* resident)."""
 
 
 class FirstComeFirstServeEngine(SlabEngineBase):
@@ -271,13 +277,19 @@ class FirstComeFirstServeEngine(SlabEngineBase):
     not to whoever benefits.
     """
 
-    def _insert(self, key: object, class_index: int, chunk: int) -> int:
+    def _insert(self, key: object, class_index: int, chunk: int) -> Optional[int]:
         queue = self._queue(class_index)
         if queue.used + chunk > queue.capacity:
             if self._capacity_total + chunk <= self.budget_bytes:
                 self._resize_queue(queue, queue.capacity + chunk)
             elif queue.capacity < chunk:
                 self._steal_chunk_for(class_index, chunk)
+                if queue.capacity < chunk:
+                    # No donor owns a whole chunk of this size: the queue
+                    # can never fit the item, so bypass the store (like a
+                    # starved PlannedEngine class) instead of inserting an
+                    # entry the overflow drain would immediately evict.
+                    return None
         evicted = queue.insert(key, chunk)
         return self._forget_evicted(evicted)
 
@@ -353,10 +365,10 @@ class PlannedEngine(SlabEngineBase):
                 )
             self._resize_queue(self._queue(class_index), capacity)
 
-    def _insert(self, key: object, class_index: int, chunk: int) -> int:
+    def _insert(self, key: object, class_index: int, chunk: int) -> Optional[int]:
         queue = self._queue(class_index)
         if queue.capacity < chunk:
-            return 0  # class starved by the plan: bypass the cache
+            return None  # class starved by the plan: bypass the cache
         evicted = queue.insert(key, chunk)
         return self._forget_evicted(evicted)
 

@@ -75,14 +75,17 @@ class CacheServer:
         observers need :class:`Request`/:class:`AccessOutcome` objects, so
         their presence falls back to the object path (same results).
         """
-        if self._observers:
-            return self.replay(trace.iter_requests())
+        # The geometry check must precede the observer fallback: the
+        # object path would silently re-classify a trace compiled for a
+        # different slab ladder instead of reporting the mismatch.
         if trace.geometry.chunk_sizes != self.geometry.chunk_sizes:
             raise ConfigurationError(
                 "compiled trace was built for a different slab geometry "
                 f"({trace.geometry.chunk_sizes} vs "
                 f"{self.geometry.chunk_sizes}); recompile it"
             )
+        if self._observers:
+            return self.replay(trace.iter_requests())
         # Unregistered apps only raise when a request for them appears,
         # matching :meth:`process`.
         engine_of_app = [self.engines.get(name) for name in trace.app_table]

@@ -1,0 +1,26 @@
+"""``repro.cluster``: multi-server simulation on consistent hashing.
+
+A :class:`Cluster` owns N :class:`~repro.cache.server.CacheServer`
+shards, routes keys over a :class:`HashRing`, and aggregates per-shard
+statistics into one :class:`ClusterReport` (per-app hit rates, per-shard
+load, imbalance, hot-shard detection). Scenarios opt in through their
+``cluster`` block; see :func:`repro.sim.run_scenario`.
+"""
+
+from repro.cluster.cluster import (
+    Cluster,
+    ClusterConfig,
+    ClusterReport,
+    ShardLoad,
+    render_cluster_report,
+)
+from repro.cluster.hashring import HashRing
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "ClusterReport",
+    "HashRing",
+    "ShardLoad",
+    "render_cluster_report",
+]

@@ -1,0 +1,385 @@
+"""Multi-server simulation: N :class:`CacheServer` shards behind a ring.
+
+Cliffhanger "runs on each memory cache server and does not require any
+coordination between different servers" (paper section 4.3). The cluster
+layer leans on exactly that: each shard hosts its own per-app engines
+and optimizes locally; the only shared state is the consistent-hash ring
+that routes keys. A :class:`Cluster` therefore composes the existing
+single-server machinery unchanged -- a one-shard cluster replays
+bit-identically to a bare :class:`CacheServer`.
+
+Replication (``replication`` R > 1) spreads each key's requests
+round-robin across its R successor shards on the ring. Every replica
+fills its cache independently, so replication trades per-replica hit
+rate for hot-shard load relief -- the standard "replicate the hot
+partition" memcache deployment move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.cache.engines import Engine
+from repro.cache.server import CacheServer
+from repro.cache.slabs import SlabGeometry
+from repro.cache.stats import HitMissCounter, StatsRegistry
+from repro.common.errors import ConfigurationError
+from repro.cluster.hashring import HashRing
+from repro.workloads.trace import Request
+
+#: Engine factory for one tenant: ``(shard_index, budget_share) -> Engine``.
+EngineFactory = Callable[[int, float], Engine]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """The serializable shape of a scenario's ``cluster`` block.
+
+    ``replication`` is clamped to the shard count at construction, so a
+    spec, the config built from it, and the replay's report always show
+    the same effective value (and shard-count sweeps with a fixed
+    replication stay valid at small shard counts).
+    """
+
+    shards: int = 1
+    hash_seed: int = 0
+    replication: int = 1
+    virtual_nodes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ConfigurationError(
+                f"cluster needs at least one shard, got {self.shards}"
+            )
+        if self.replication < 1:
+            raise ConfigurationError(
+                f"replication must be >= 1, got {self.replication}"
+            )
+        if self.virtual_nodes < 1:
+            raise ConfigurationError(
+                f"virtual_nodes must be >= 1, got {self.virtual_nodes}"
+            )
+        if self.replication > self.shards:
+            object.__setattr__(self, "replication", self.shards)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "shards": self.shards,
+            "hash_seed": self.hash_seed,
+            "replication": self.replication,
+            "virtual_nodes": self.virtual_nodes,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Optional[Dict[str, Any]]) -> "ClusterConfig":
+        if payload is None:
+            return cls()
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"cluster block must be an object, got "
+                f"{type(payload).__name__}"
+            )
+        known = {"shards", "hash_seed", "replication", "virtual_nodes"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown cluster fields: {', '.join(sorted(unknown))}"
+            )
+        try:
+            return cls(
+                shards=int(payload.get("shards", 1)),
+                hash_seed=int(payload.get("hash_seed", 0)),
+                replication=int(payload.get("replication", 1)),
+                virtual_nodes=int(payload.get("virtual_nodes", 64)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"bad cluster block: {exc}") from None
+
+
+@dataclass
+class ShardLoad:
+    """One shard's share of a replay."""
+
+    shard: int
+    requests: int
+    gets: int
+    hit_rate: float
+    memory_used_bytes: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "shard": self.shard,
+            "requests": self.requests,
+            "gets": self.gets,
+            "hit_rate": self.hit_rate,
+            "memory_used_bytes": self.memory_used_bytes,
+        }
+
+
+def render_cluster_report(payload: Dict[str, Any]) -> List[str]:
+    """Plain-text lines for a cluster-report dict.
+
+    The single formatter behind :meth:`ClusterReport.render` and
+    :meth:`repro.sim.ScenarioResult.render`, so the two outputs cannot
+    drift.
+    """
+    hot = set(payload["hot_shards"])
+    lines = [
+        f"cluster: {payload['shards']} shard(s), replication "
+        f"{payload['replication']}, imbalance "
+        f"{payload['imbalance']:.3f} (max/mean), hot shards: "
+        f"{payload['hot_shards'] or 'none'}"
+    ]
+    for load in payload["shard_loads"]:
+        mark = "  *hot*" if load["shard"] in hot else ""
+        lines.append(
+            f"  shard {load['shard']}: {load['requests']:,} requests, "
+            f"hit rate {load['hit_rate']:.4f}, "
+            f"{load['memory_used_bytes'] / (1 << 20):.2f} MB used{mark}"
+        )
+    return lines
+
+
+@dataclass
+class ClusterReport:
+    """Aggregated view of a cluster replay.
+
+    ``imbalance`` is the max/mean per-shard request ratio (1.0 is a
+    perfectly balanced cluster); ``hot_shards`` lists shards whose load
+    exceeds ``hot_factor`` times the mean.
+    """
+
+    shards: int
+    replication: int
+    hit_rates: Dict[str, float]
+    overall_hit_rate: float
+    requests: int
+    gets: int
+    shard_loads: List[ShardLoad]
+    imbalance: float
+    hot_shards: List[int]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "shards": self.shards,
+            "replication": self.replication,
+            "hit_rates": dict(self.hit_rates),
+            "overall_hit_rate": self.overall_hit_rate,
+            "requests": self.requests,
+            "gets": self.gets,
+            "shard_loads": [load.to_dict() for load in self.shard_loads],
+            "imbalance": self.imbalance,
+            "hot_shards": list(self.hot_shards),
+        }
+
+    def render(self) -> str:
+        """Per-shard loads plus the balance summary."""
+        return "\n".join(render_cluster_report(self.to_dict()))
+
+
+class Cluster:
+    """N shard servers, a hash ring, and aggregate reporting.
+
+    Engines are registered per app through :meth:`add_app`, which splits
+    the app's total budget evenly across shards (each shard is an
+    independent server; no shard knows the others exist, per the paper's
+    no-coordination design).
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        geometry: Optional[SlabGeometry] = None,
+    ) -> None:
+        self.config = config
+        self.geometry = geometry or SlabGeometry.default()
+        #: Replica count (ClusterConfig already clamps it to the shard
+        #: count).
+        self.replication = config.replication
+        self.ring = HashRing(
+            config.shards,
+            seed=config.hash_seed,
+            virtual_nodes=config.virtual_nodes,
+        )
+        self.servers = [
+            CacheServer(self.geometry) for _ in range(config.shards)
+        ]
+        # Per-key round-robin counters for the object API (the compiled
+        # replay keeps its own array-based counters).
+        self._spread: Dict[object, int] = {}
+
+    @property
+    def shards(self) -> int:
+        return len(self.servers)
+
+    # ------------------------------------------------------------------
+
+    def add_app(
+        self, app: str, budget_bytes: float, make_engine: EngineFactory
+    ) -> None:
+        """Register a tenant on every shard with ``budget_bytes/shards``
+        each; ``make_engine(shard, share)`` builds each shard's engine."""
+        share = budget_bytes / len(self.servers)
+        for shard, server in enumerate(self.servers):
+            engine = make_engine(shard, share)
+            if engine.app != app:
+                raise ConfigurationError(
+                    f"engine factory for app {app!r} built an engine "
+                    f"named {engine.app!r}"
+                )
+            server.add_app(engine)
+
+    # ------------------------------------------------------------------
+
+    def route(self, key: object) -> int:
+        """Shard index serving the next request for ``key``.
+
+        With ``replication == 1`` this is the ring's primary; otherwise
+        the key's requests round-robin across its replica set.
+        """
+        if self.replication == 1:
+            return self.ring.shard_for(key)
+        replicas = self.ring.shards_for(key, self.replication)
+        turn = self._spread.get(key, 0)
+        self._spread[key] = turn + 1
+        return replicas[turn % len(replicas)]
+
+    def process(self, request: Request):
+        """Route one request to its shard (object API)."""
+        return self.servers[self.route(request.key)].process(request)
+
+    def replay_compiled(self, trace) -> StatsRegistry:
+        """Replay a compiled trace across the shards.
+
+        Per-shard stats land in each shard server's own registry; the
+        returned registry is the cluster-wide aggregate. A one-shard
+        cluster delegates to :meth:`CacheServer.replay_compiled`
+        unchanged, which is what the parity tests pin down.
+        """
+        if len(self.servers) == 1:
+            self.servers[0].replay_compiled(trace)
+            return self.aggregate_stats()
+        if trace.geometry.chunk_sizes != self.geometry.chunk_sizes:
+            raise ConfigurationError(
+                "compiled trace was built for a different slab geometry "
+                f"({trace.geometry.chunk_sizes} vs "
+                f"{self.geometry.chunk_sizes}); recompile it"
+            )
+        # Routing is a pure function of the key, so memoize it per key
+        # id -- lazily, because app-filtered sub-traces keep the full
+        # key table and eagerly hashing never-replayed keys would waste
+        # the filtering.
+        replication = self.replication
+        if replication > 1:
+            replicas_of_key: List[Optional[List[int]]] = [None] * len(
+                trace.key_table
+            )
+            turn_of_key = [0] * len(trace.key_table)
+        else:
+            primary_of_key: List[Optional[int]] = [None] * len(
+                trace.key_table
+            )
+        engines = [
+            [server.engines.get(name) for name in trace.app_table]
+            for server in self.servers
+        ]
+        records = [server.stats.record_code for server in self.servers]
+        for app_id, key_id, key, op, class_index, chunk, item_bytes in zip(
+            trace.app_ids,
+            trace.key_ids,
+            trace.keys,
+            trace.op_codes,
+            trace.slab_classes,
+            trace.chunk_bytes,
+            trace.item_bytes,
+        ):
+            if replication > 1:
+                choices = replicas_of_key[key_id]
+                if choices is None:
+                    choices = replicas_of_key[key_id] = self.ring.shards_for(
+                        key, replication
+                    )
+                turn = turn_of_key[key_id]
+                turn_of_key[key_id] = turn + 1
+                shard = choices[turn % len(choices)]
+            else:
+                shard = primary_of_key[key_id]
+                if shard is None:
+                    shard = primary_of_key[key_id] = self.ring.shard_for(key)
+            engine = engines[shard][app_id]
+            if engine is None:
+                raise ConfigurationError(
+                    f"request for unknown app {trace.app_table[app_id]!r}"
+                )
+            records[shard](
+                engine.app,
+                op,
+                engine.process_fast(key, op, class_index, chunk, item_bytes),
+            )
+        return self.aggregate_stats()
+
+    # ------------------------------------------------------------------
+
+    def aggregate_stats(self) -> StatsRegistry:
+        """Cluster-wide registry: every shard's counters merged."""
+        merged = StatsRegistry()
+        for server in self.servers:
+            merged.total.merge(server.stats.total)
+            for app, counter in server.stats.by_app.items():
+                merged.by_app.setdefault(app, HitMissCounter()).merge(counter)
+            for key, counter in server.stats.by_app_class.items():
+                merged.by_app_class.setdefault(
+                    key, HitMissCounter()
+                ).merge(counter)
+        return merged
+
+    def report(self, hot_factor: float = 1.5) -> ClusterReport:
+        """Aggregate hit rates plus per-shard load and balance metrics."""
+        if hot_factor <= 0:
+            raise ConfigurationError(
+                f"hot_factor must be positive, got {hot_factor}"
+            )
+        merged = self.aggregate_stats()
+        loads = []
+        for shard, server in enumerate(self.servers):
+            total = server.stats.total
+            loads.append(
+                ShardLoad(
+                    shard=shard,
+                    requests=total.gets + total.sets,
+                    gets=total.gets,
+                    hit_rate=total.hit_rate(),
+                    memory_used_bytes=server.memory_in_use(),
+                )
+            )
+        counts = [load.requests for load in loads]
+        mean = sum(counts) / len(counts) if counts else 0.0
+        imbalance = max(counts) / mean if mean > 0 else 1.0
+        hot_shards = [
+            load.shard
+            for load in loads
+            if mean > 0 and load.requests > hot_factor * mean
+        ]
+        return ClusterReport(
+            shards=len(self.servers),
+            replication=self.replication,
+            hit_rates={
+                app: merged.app_hit_rate(app)
+                for app in sorted(merged.by_app)
+            },
+            overall_hit_rate=merged.total.hit_rate(),
+            requests=merged.total.gets + merged.total.sets,
+            gets=merged.total.gets,
+            shard_loads=loads,
+            imbalance=imbalance,
+            hot_shards=hot_shards,
+        )
+
+    # ------------------------------------------------------------------
+
+    def memory_in_use(self) -> float:
+        return sum(server.memory_in_use() for server in self.servers)
+
+    def memory_reserved(self) -> float:
+        return sum(server.memory_reserved() for server in self.servers)

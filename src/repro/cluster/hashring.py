@@ -1,0 +1,94 @@
+"""Consistent-hash key routing across cache-server shards.
+
+A :class:`HashRing` places ``virtual_nodes`` tokens per shard on a
+64-bit ring (tokens come from :func:`repro.common.hashing.stable_hash_u64`,
+so placement is deterministic across processes and independent of
+``PYTHONHASHSEED``); a key is owned by the shard whose token follows the
+key's hash clockwise. The classic consistent-hashing property follows:
+growing an ``N``-shard ring to ``N+1`` shards leaves every existing
+shard's tokens in place, so only the keys captured by the new shard's
+tokens -- ``~1/(N+1)`` of the key space -- change owners.
+
+Replica sets (:meth:`HashRing.shards_for`) are the next *distinct*
+shards clockwise of the key, the standard successor-list placement.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List
+
+from repro.common.errors import ConfigurationError
+from repro.common.hashing import stable_hash_u64
+
+
+class HashRing:
+    """A consistent-hash ring over ``shards`` cache servers.
+
+    Args:
+        shards: Number of shards (>= 1).
+        seed: Salt folded into every token and key hash, so two rings
+            with different seeds partition the key space independently.
+        virtual_nodes: Tokens per shard; more tokens smooth the
+            per-shard share of the key space (64 keeps the max/mean
+            spread within a few percent).
+    """
+
+    def __init__(
+        self, shards: int, seed: int = 0, virtual_nodes: int = 64
+    ) -> None:
+        if shards < 1:
+            raise ConfigurationError(f"need at least one shard, got {shards}")
+        if virtual_nodes < 1:
+            raise ConfigurationError(
+                f"virtual_nodes must be >= 1, got {virtual_nodes}"
+            )
+        self.shards = shards
+        self.seed = seed
+        self.virtual_nodes = virtual_nodes
+        points = []
+        for shard in range(shards):
+            for vnode in range(virtual_nodes):
+                token = stable_hash_u64(
+                    f"shard{shard:06d}:vnode{vnode:06d}", salt=seed
+                )
+                points.append((token, shard))
+        points.sort()
+        self._tokens = [token for token, _ in points]
+        self._owners = [shard for _, shard in points]
+
+    # ------------------------------------------------------------------
+
+    def shard_for(self, key: object) -> int:
+        """The shard owning ``key`` (its primary)."""
+        token = stable_hash_u64(key, salt=self.seed)
+        idx = bisect_right(self._tokens, token)
+        if idx == len(self._tokens):
+            idx = 0
+        return self._owners[idx]
+
+    def shards_for(self, key: object, count: int) -> List[int]:
+        """The first ``count`` distinct shards clockwise of ``key``.
+
+        Index 0 is the primary (== :meth:`shard_for`); ``count`` is
+        clamped to the shard total.
+        """
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        count = min(count, self.shards)
+        token = stable_hash_u64(key, salt=self.seed)
+        start = bisect_right(self._tokens, token) % len(self._tokens)
+        replicas: List[int] = []
+        for step in range(len(self._tokens)):
+            owner = self._owners[(start + step) % len(self._tokens)]
+            if owner not in replicas:
+                replicas.append(owner)
+                if len(replicas) == count:
+                    break
+        return replicas
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HashRing(shards={self.shards}, seed={self.seed}, "
+            f"virtual_nodes={self.virtual_nodes})"
+        )

@@ -6,6 +6,7 @@ from typing import Callable, Dict, List
 
 from repro.common.errors import ConfigurationError
 from repro.experiments import (
+    cluster_scaling,
     fig1_hrc,
     fig2_solver,
     fig3_cliff,
@@ -44,6 +45,7 @@ REGISTRY: Dict[str, Runner] = {
     "tab6": table6_latency.run,
     "tab7": table7_throughput.run,
     "sensitivity": sensitivity.run,
+    "cluster_scaling": cluster_scaling.run,
 }
 
 

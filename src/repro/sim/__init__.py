@@ -43,7 +43,14 @@ from repro.sim.planning import (
     solver_plan_for_app,
 )
 from repro.sim.workloads import CachedTrace, SyntheticTrace, load_workload
-from repro.sim.runner import build_server, replay_on_trace, run_scenario
+from repro.sim import dynamic as _dynamic  # registers the dynamic workloads
+from repro.sim.runner import (
+    build_cluster,
+    build_server,
+    replay_on_cluster,
+    replay_on_trace,
+    run_scenario,
+)
 from repro.sim.sweep import Sweep, SweepResult, run_sweep
 
 __all__ = [
@@ -59,6 +66,7 @@ __all__ = [
     "Sweep",
     "SweepResult",
     "SyntheticTrace",
+    "build_cluster",
     "build_server",
     "classify",
     "list_schemes",
@@ -69,6 +77,7 @@ __all__ = [
     "profile_app_classes",
     "register_scheme",
     "register_workload",
+    "replay_on_cluster",
     "replay_on_trace",
     "run_scenario",
     "run_sweep",

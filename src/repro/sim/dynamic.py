@@ -1,0 +1,282 @@
+"""Time-dynamic workloads, registered on :data:`repro.sim.WORKLOADS`.
+
+Static traces keep per-app skew constant for the whole replay; these two
+generators do not, which is what cluster scenarios need to exercise
+load imbalance that consistent hashing cannot smooth away:
+
+* ``zipf-phases`` -- N tenants whose Zipf alpha and working set change
+  at configurable request offsets (``params`` per app: ``phases`` -- a
+  list of ``{"at": fraction, "alpha": ..., "keys": ..., "offset": ...}``
+  dicts -- plus the usual ``num_keys``, ``alpha``, ``value_size``,
+  ``set_fraction``, ``requests_per_app``, ``budget_fraction``). The
+  default phase list shifts the working set to a disjoint key universe
+  halfway through the stream.
+* ``flash-crowd`` -- a Zipf base stream overlaid with a flash crowd: a
+  tiny hot key set absorbs ``crowd_fraction`` of the requests inside
+  ``[crowd_start, crowd_start + crowd_duration)``. Extra per-app params:
+  ``crowd_keys``, ``crowd_fraction``, ``crowd_start``,
+  ``crowd_duration``, ``crowd_alpha``.
+
+Both go through :data:`~repro.workloads.compiled.GLOBAL_TRACE_CACHE`
+with parameter-digest keys, like the static workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.errors import ConfigurationError
+from repro.sim.registries import register_workload
+from repro.sim.workloads import (
+    SyntheticTrace,
+    _normalize_apps,
+    _params_tag,
+    _zipf_reservation,
+)
+from repro.workloads.compiled import GLOBAL_TRACE_CACHE
+from repro.workloads.generators import (
+    FlashCrowdStream,
+    PhasedZipfStream,
+    RequestStream,
+    ZipfPhase,
+    ZipfStream,
+)
+from repro.workloads.sizes import FixedSize
+from repro.workloads.trace import merge_by_time
+
+from repro.sim.defaults import GEOMETRY
+
+_PHASED_APP_DEFAULTS = {
+    "num_keys": 40_000,
+    "alpha": 1.0,
+    "value_size": 256,
+    "set_fraction": 0.0,
+    "requests_per_app": 150_000,
+    "budget_fraction": 0.25,
+    "phases": None,
+}
+
+_PHASE_KEYS = {"at", "alpha", "keys", "offset"}
+
+
+def _resolve_phases(
+    phases, scale: float, default_alpha: float, default_keys: int
+) -> List[ZipfPhase]:
+    """Turn spec-level phase dicts into scaled :class:`ZipfPhase` objects.
+
+    ``keys`` and ``offset`` are in unscaled key units and shrink under
+    one common factor (floored so the smallest phase universe keeps >= 50
+    keys), so a phase list that is disjoint at full scale stays disjoint
+    at every scale: flooring both ends of each scaled range preserves
+    ordering, and no per-phase clamp can push a universe past its
+    neighbour's offset.
+    """
+    if phases is None:
+        # Default: shift the working set to a disjoint universe halfway.
+        phases = [
+            {"at": 0.0},
+            {"at": 0.5, "offset": default_keys},
+        ]
+    if not isinstance(phases, (list, tuple)) or not phases:
+        raise ConfigurationError(
+            f"phases must be a non-empty list of phase objects, "
+            f"got {phases!r}"
+        )
+    parsed = []
+    for spec in phases:
+        if not isinstance(spec, dict):
+            raise ConfigurationError(f"phase must be an object, got {spec!r}")
+        unknown = set(spec) - _PHASE_KEYS
+        if unknown:
+            raise ConfigurationError(
+                f"unknown phase fields: {', '.join(sorted(unknown))}"
+            )
+        if "at" not in spec:
+            raise ConfigurationError(f"phase {spec!r} is missing 'at'")
+        try:
+            parsed.append(
+                (
+                    float(spec["at"]),
+                    float(spec.get("alpha", default_alpha)),
+                    int(spec.get("keys", default_keys)),
+                    int(spec.get("offset", 0)),
+                )
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"bad phase {spec!r}: {exc}") from None
+    smallest = min(keys for _, _, keys, _ in parsed)
+    if smallest < 1:
+        raise ConfigurationError(
+            f"phase key universes must be >= 1, got {smallest}"
+        )
+    effective_scale = max(scale, 50.0 / smallest)
+    return [
+        ZipfPhase(
+            start_fraction=at,
+            alpha=alpha,
+            num_keys=max(1, int(keys * effective_scale)),
+            key_offset=max(0, int(offset * effective_scale)),
+        )
+        for at, alpha, keys, offset in parsed
+    ]
+
+
+@register_workload("zipf-phases")
+def _load_zipf_phases(
+    scale: float, seed: int, apps=None, **defaults
+) -> SyntheticTrace:
+    """N tenants with phase-shifting Zipf popularity (see module docs)."""
+    unknown = set(defaults) - set(_PHASED_APP_DEFAULTS)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown zipf-phases workload params: "
+            f"{', '.join(sorted(unknown))}"
+        )
+    app_map = _normalize_apps(apps, "phased", default_count=2)
+    streams: List[RequestStream] = []
+    reservations: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for position, (name, overrides) in enumerate(app_map.items()):
+        unknown = set(overrides) - set(_PHASED_APP_DEFAULTS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown zipf-phases app params for {name!r}: "
+                f"{', '.join(sorted(unknown))}"
+            )
+        params = dict(_PHASED_APP_DEFAULTS)
+        params.update(defaults)
+        params.update(overrides)
+        phases = _resolve_phases(
+            params["phases"], scale, params["alpha"], params["num_keys"]
+        )
+        requests = max(500, int(params["requests_per_app"] * scale))
+        streams.append(
+            PhasedZipfStream(
+                app=name,
+                phases=phases,
+                size_model=FixedSize(params["value_size"]),
+                set_fraction=params["set_fraction"],
+                seed=seed + position * 1000,
+            )
+        )
+        # Reserve against the largest phase universe so later phases are
+        # not implicitly starved.
+        reservations[name] = _zipf_reservation(
+            max(phase.num_keys for phase in phases),
+            params["value_size"],
+            params["budget_fraction"],
+        )
+        counts[name] = requests
+    key = (
+        f"zipfphases-scale{scale!r}-seed{seed}-"
+        f"{_params_tag({'apps': app_map, 'defaults': defaults})}"
+    )
+    compiled = GLOBAL_TRACE_CACHE.get_or_compile(
+        key,
+        lambda: merge_by_time(
+            [
+                stream.generate(counts[stream.app], 3600.0)
+                for stream in streams
+            ]
+        ),
+        GEOMETRY,
+    )
+    return SyntheticTrace(
+        scale=scale,
+        seed=seed,
+        reservations=reservations,
+        requests_per_app=counts,
+        compiled=compiled,
+    )
+
+
+_FLASH_APP_DEFAULTS = {
+    "num_keys": 40_000,
+    "alpha": 1.0,
+    "value_size": 256,
+    "set_fraction": 0.0,
+    "requests_per_app": 150_000,
+    "budget_fraction": 0.25,
+    "crowd_keys": 8,
+    "crowd_fraction": 0.8,
+    "crowd_start": 0.4,
+    "crowd_duration": 0.2,
+    "crowd_alpha": 1.2,
+}
+
+
+@register_workload("flash-crowd")
+def _load_flash_crowd(
+    scale: float, seed: int, apps=None, **defaults
+) -> SyntheticTrace:
+    """Zipf tenants with a time-local flash crowd (see module docs)."""
+    unknown = set(defaults) - set(_FLASH_APP_DEFAULTS)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown flash-crowd workload params: "
+            f"{', '.join(sorted(unknown))}"
+        )
+    app_map = _normalize_apps(apps, "flash", default_count=1)
+    streams: List[RequestStream] = []
+    reservations: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for position, (name, overrides) in enumerate(app_map.items()):
+        unknown = set(overrides) - set(_FLASH_APP_DEFAULTS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown flash-crowd app params for {name!r}: "
+                f"{', '.join(sorted(unknown))}"
+            )
+        params = dict(_FLASH_APP_DEFAULTS)
+        params.update(defaults)
+        params.update(overrides)
+        num_keys = max(50, int(params["num_keys"] * scale))
+        requests = max(500, int(params["requests_per_app"] * scale))
+        app_seed = seed + position * 1000
+        size_model = FixedSize(params["value_size"])
+        base = ZipfStream(
+            app=name,
+            num_keys=num_keys,
+            alpha=params["alpha"],
+            size_model=size_model,
+            set_fraction=params["set_fraction"],
+            seed=app_seed,
+        )
+        streams.append(
+            FlashCrowdStream(
+                app=name,
+                base=base,
+                size_model=size_model,
+                crowd_keys=int(params["crowd_keys"]),
+                crowd_fraction=float(params["crowd_fraction"]),
+                crowd_start=float(params["crowd_start"]),
+                crowd_duration=float(params["crowd_duration"]),
+                crowd_alpha=float(params["crowd_alpha"]),
+                seed=app_seed + 17,
+            )
+        )
+        reservations[name] = _zipf_reservation(
+            num_keys, params["value_size"], params["budget_fraction"]
+        )
+        counts[name] = requests
+    key = (
+        f"flashcrowd-scale{scale!r}-seed{seed}-"
+        f"{_params_tag({'apps': app_map, 'defaults': defaults})}"
+    )
+    compiled = GLOBAL_TRACE_CACHE.get_or_compile(
+        key,
+        lambda: merge_by_time(
+            [
+                stream.generate(counts[stream.app], 3600.0)
+                for stream in streams
+            ]
+        ),
+        GEOMETRY,
+    )
+    return SyntheticTrace(
+        scale=scale,
+        seed=seed,
+        reservations=reservations,
+        requests_per_app=counts,
+        compiled=compiled,
+    )

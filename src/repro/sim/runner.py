@@ -88,6 +88,75 @@ def build_server(
     return server
 
 
+def build_cluster(
+    scenario: Scenario,
+    trace,
+    plans: Optional[Dict[str, Dict[int, float]]] = None,
+):
+    """A :class:`~repro.cluster.Cluster` with one engine per app per
+    shard. Budgets (and explicit plans) split evenly across shards; each
+    shard's engine seeds as ``seed + shard`` so shard 0 of a one-shard
+    cluster is identical to the single-server engine."""
+    from repro.cluster import Cluster, ClusterConfig
+
+    chosen = _chosen_apps(scenario, trace)
+    if plans is None:
+        plans = _resolve_plans(scenario, trace, chosen)
+    config = ClusterConfig.from_dict(scenario.cluster)
+    builder = SCHEMES.get(scenario.scheme)
+    cluster = Cluster(config, GEOMETRY)
+    shards = config.shards
+    for app in chosen:
+        plan = plans.get(app) if plans else None
+
+        def make_engine(shard: int, share: float, app=app, plan=plan):
+            shard_plan = (
+                {cls: cap / shards for cls, cap in plan.items()}
+                if plan is not None
+                else None
+            )
+            return builder(
+                app,
+                share,
+                geometry=GEOMETRY,
+                scale=trace.scale,
+                seed=scenario.seed + shard,
+                policy=scenario.policy,
+                plan=shard_plan,
+                **scenario.engine_overrides,
+            )
+
+        cluster.add_app(
+            app, _resolve_budget(scenario, trace, app), make_engine
+        )
+    return cluster
+
+
+def replay_on_cluster(
+    scenario: Scenario, trace
+) -> Tuple["Cluster", StatsRegistry, float]:
+    """Replay an already-loaded trace across the scenario's cluster.
+
+    Returns ``(cluster, aggregated_stats, elapsed_seconds)``. Cluster
+    replays always take the compiled fast path; per-request observers
+    are a single-server feature.
+    """
+    chosen = _chosen_apps(scenario, trace)
+    cluster = build_cluster(scenario, trace)
+    compiled = getattr(trace, "compiled", None)
+    if compiled is None:
+        raise ConfigurationError(
+            f"workload {scenario.workload!r} has no compiled trace; "
+            "cluster scenarios need one"
+        )
+    if set(chosen) != set(trace.app_names):
+        compiled = compiled.select_apps(chosen)
+    started = time.perf_counter()
+    stats = cluster.replay_compiled(compiled)
+    elapsed = time.perf_counter() - started
+    return cluster, stats, elapsed
+
+
 def replay_on_trace(
     scenario: Scenario,
     trace,
@@ -137,9 +206,15 @@ def run_scenario(
         baseline: Optional previous result; when given, the returned
             result's ``miss_reductions`` compares against it per app.
         observer: Optional per-request observer (timelines, profilers);
-            forces the object replay path, same outcomes.
-        keep_server: Attach the live ``server`` and ``stats`` to the
-            result for callers that need engine internals.
+            forces the object replay path, same outcomes. Rejected for
+            cluster scenarios (compiled fast path only).
+        keep_server: Attach the live ``server``/``cluster`` and
+            ``stats`` to the result for callers that need engine
+            internals.
+
+    Scenarios with a ``cluster`` block replay across N shard servers
+    (consistent-hash key routing, budgets split per shard); the result
+    carries the aggregate ``cluster_report``.
     """
     trace = load_workload(
         scenario.workload,
@@ -147,7 +222,19 @@ def run_scenario(
         seed=scenario.seed,
         **scenario.workload_params,
     )
-    server, stats, elapsed = replay_on_trace(scenario, trace, observer=observer)
+    cluster = None
+    if scenario.cluster is not None:
+        if observer is not None:
+            raise ConfigurationError(
+                "per-request observers are not supported for cluster "
+                "scenarios; drop the 'cluster' block or the observer"
+            )
+        cluster, stats, elapsed = replay_on_cluster(scenario, trace)
+        server = None
+    else:
+        server, stats, elapsed = replay_on_trace(
+            scenario, trace, observer=observer
+        )
     apps = (
         list(scenario.apps) if scenario.apps is not None else list(trace.app_names)
     )
@@ -162,10 +249,14 @@ def run_scenario(
         elapsed_seconds=elapsed,
         requests_per_sec=requests / elapsed if elapsed > 0 else 0.0,
         budgets={app: _resolve_budget(scenario, trace, app) for app in apps},
+        cluster_report=(
+            cluster.report().to_dict() if cluster is not None else None
+        ),
     )
     if baseline is not None:
         result.miss_reductions = result.miss_reductions_vs(baseline)
     if keep_server:
         result.server = server
         result.stats = stats
+        result.cluster = cluster
     return result

@@ -58,6 +58,11 @@ class Scenario:
             builder (e.g. ``{"apps": [19]}`` for memcachier).
         engine_overrides: Extra keyword arguments for the scheme builder
             (e.g. ``{"credit_bytes": 4096.0}``).
+        cluster: Optional multi-server block
+            (``{"shards": N, "hash_seed": S, "replication": R,
+            "virtual_nodes": V}``); when present the replay routes keys
+            across N shard servers by consistent hashing (see
+            :mod:`repro.cluster`). Budgets are split evenly per shard.
         name: Optional label (sweeps generate one per grid point).
     """
 
@@ -71,6 +76,7 @@ class Scenario:
     plans: Union[None, str, Dict[str, Dict[int, float]]] = None
     workload_params: Dict[str, Any] = field(default_factory=dict)
     engine_overrides: Dict[str, Any] = field(default_factory=dict)
+    cluster: Optional[Dict[str, Any]] = None
     name: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -89,6 +95,12 @@ class Scenario:
             )
         if self.apps is not None:
             self.apps = [str(app) for app in self.apps]
+        if self.cluster is not None:
+            # Validate and normalize (defaults filled in) so round-trips
+            # and sweep labels are canonical.
+            from repro.cluster import ClusterConfig
+
+            self.cluster = ClusterConfig.from_dict(self.cluster).to_dict()
 
     # ------------------------------------------------------------------
     # Serialization
@@ -114,6 +126,7 @@ class Scenario:
             ),
             "workload_params": dict(self.workload_params),
             "engine_overrides": dict(self.engine_overrides),
+            "cluster": dict(self.cluster) if self.cluster is not None else None,
             "name": self.name,
         }
 
@@ -126,7 +139,7 @@ class Scenario:
         known = {
             "scheme", "workload", "policy", "scale", "seed", "apps",
             "budgets", "plans", "workload_params", "engine_overrides",
-            "name",
+            "cluster", "name",
         }
         unknown = set(payload) - known
         if unknown:
@@ -175,7 +188,10 @@ class Scenario:
         """``name`` if set, else a compact workload/scheme descriptor."""
         if self.name:
             return self.name
-        return f"{self.workload}/{self.scheme}/{self.policy}@{self.scale!r}s{self.seed}"
+        label = f"{self.workload}/{self.scheme}/{self.policy}@{self.scale!r}s{self.seed}"
+        if self.cluster is not None:
+            label += f"/{self.cluster['shards']}shards"
+        return label
 
 
 @dataclass
@@ -196,10 +212,14 @@ class ScenarioResult:
     requests_per_sec: float
     budgets: Dict[str, float]
     miss_reductions: Optional[Dict[str, float]] = None
+    #: Aggregated :meth:`repro.cluster.Cluster.report` payload (shard
+    #: loads, imbalance, hot shards); None for single-server scenarios.
+    cluster_report: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         self.server = None
         self.stats = None
+        self.cluster = None
 
     def miss_reductions_vs(self, baseline: "ScenarioResult") -> Dict[str, float]:
         """Per-app fraction of ``baseline``'s misses this run removed."""
@@ -224,6 +244,11 @@ class ScenarioResult:
                 if self.miss_reductions is not None
                 else None
             ),
+            "cluster_report": (
+                dict(self.cluster_report)
+                if self.cluster_report is not None
+                else None
+            ),
         }
 
     @classmethod
@@ -240,6 +265,11 @@ class ScenarioResult:
             miss_reductions=(
                 dict(payload["miss_reductions"])
                 if payload.get("miss_reductions") is not None
+                else None
+            ),
+            cluster_report=(
+                dict(payload["cluster_report"])
+                if payload.get("cluster_report") is not None
                 else None
             ),
         )
@@ -267,4 +297,8 @@ class ScenarioResult:
             f"{self.requests:,} requests in {self.elapsed_seconds:.2f}s "
             f"= {self.requests_per_sec:,.0f} req/s"
         )
+        if self.cluster_report is not None:
+            from repro.cluster import render_cluster_report
+
+            lines.extend(render_cluster_report(self.cluster_report))
         return "\n".join(lines)

@@ -60,8 +60,16 @@ class Sweep:
     base: Scenario = field(default_factory=Scenario)
     axes: Mapping[str, Sequence[Any]] = field(default_factory=dict)
     name: Optional[str] = None
+    #: Default worker count for :meth:`run` when the caller passes none;
+    #: this is what a spec's ``workers`` key sets.
+    workers: Optional[int] = None
 
     def __post_init__(self) -> None:
+        if self.workers is not None:
+            if not isinstance(self.workers, int) or self.workers < 1:
+                raise ConfigurationError(
+                    f"workers must be a positive integer, got {self.workers!r}"
+                )
         for path, values in self.axes.items():
             if isinstance(values, (str, bytes)) or not isinstance(
                 values, (list, tuple)
@@ -98,10 +106,14 @@ class Sweep:
     def run(self, workers: Optional[int] = None) -> "SweepResult":
         """Execute every grid point; results come back in grid order.
 
-        ``workers``: ``None`` or ``<= 1`` runs serially in-process;
-        larger values fan scenarios out over a process pool sharing the
-        on-disk compiled-trace cache.
+        ``workers``: ``None`` falls back to the sweep's own ``workers``
+        default (what a spec's ``workers`` key sets); ``None``-after-
+        fallback or ``<= 1`` runs serially in-process; larger values fan
+        scenarios out over a process pool sharing the on-disk
+        compiled-trace cache.
         """
+        if workers is None:
+            workers = self.workers
         grid = self.scenarios()
         started = time.perf_counter()
         if workers is not None and workers > 1:
@@ -124,6 +136,7 @@ class Sweep:
             "base": self.base.to_dict(),
             "axes": {path: list(values) for path, values in self.axes.items()},
             "name": self.name,
+            "workers": self.workers,
         }
 
     @classmethod
@@ -141,6 +154,7 @@ class Sweep:
             base=Scenario.from_dict(payload.get("base", {})),
             axes=dict(payload.get("axes", {})),
             name=payload.get("name"),
+            workers=payload.get("workers"),
         )
 
 
@@ -202,8 +216,4 @@ def run_sweep(
 ) -> SweepResult:
     """Run a sweep from a JSON-style spec: ``{"base": {...}, "axes":
     {...}, "workers": N}``. ``workers`` overrides the spec's value."""
-    sweep = Sweep.from_dict(spec)
-    if workers is None:
-        spec_workers = spec.get("workers") if isinstance(spec, dict) else None
-        workers = spec_workers
-    return sweep.run(workers=workers)
+    return Sweep.from_dict(spec).run(workers=workers)

@@ -92,6 +92,184 @@ class ZipfStream(RequestStream):
             )
 
 
+@dataclass(frozen=True)
+class ZipfPhase:
+    """One phase of a :class:`PhasedZipfStream`.
+
+    From ``start_fraction`` of the stream onward (until the next phase),
+    ranks are drawn Zipf(``alpha``) over ``num_keys`` keys shifted by
+    ``key_offset`` in the app's key space -- ``key_offset`` is what
+    moves the working set, ``alpha``/``num_keys`` what reshape it.
+    """
+
+    start_fraction: float
+    alpha: float
+    num_keys: int
+    key_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start_fraction < 1.0:
+            raise ConfigurationError(
+                f"phase start_fraction must be in [0, 1), "
+                f"got {self.start_fraction}"
+            )
+        if self.alpha < 0:
+            raise ConfigurationError(f"alpha must be >= 0, got {self.alpha}")
+        if self.num_keys < 1:
+            raise ConfigurationError(
+                f"num_keys must be >= 1, got {self.num_keys}"
+            )
+        if self.key_offset < 0:
+            raise ConfigurationError(
+                f"key_offset must be >= 0, got {self.key_offset}"
+            )
+
+
+@dataclass
+class PhasedZipfStream(RequestStream):
+    """A Zipf stream whose skew and working set shift at request offsets.
+
+    Static traces cannot exercise the regimes the paper highlights --
+    "applications 9 and 18 ... their hit rate curves change throughout
+    the week" -- nor give a cluster layer time-varying per-shard skew.
+    Each :class:`ZipfPhase` owns a contiguous request range; at a phase
+    boundary the sampler switches alpha/universe instantly, the sharpest
+    (hardest) version of a workload change.
+    """
+
+    app: str
+    phases: Sequence[ZipfPhase]
+    size_model: SizeModel
+    namespace: str = "p"
+    set_fraction: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ConfigurationError("phased stream needs at least one phase")
+        starts = [phase.start_fraction for phase in self.phases]
+        if starts != sorted(starts) or len(set(starts)) != len(starts):
+            raise ConfigurationError(
+                f"phase start_fractions must be strictly increasing: {starts}"
+            )
+        if starts[0] != 0.0:
+            raise ConfigurationError(
+                f"the first phase must start at 0.0, got {starts[0]}"
+            )
+        if not 0.0 <= self.set_fraction <= 1.0:
+            raise ConfigurationError(
+                f"set_fraction must be in [0, 1]: {self.set_fraction}"
+            )
+
+    def generate(
+        self, num_requests: int, duration: float, start_time: float = 0.0
+    ) -> Iterator[Request]:
+        rng = np.random.default_rng(self.seed)
+        times = _timestamps(num_requests, duration, start_time)
+        bounds = [
+            min(num_requests, int(round(phase.start_fraction * num_requests)))
+            for phase in self.phases
+        ] + [num_requests]
+        ranks = np.zeros(num_requests, dtype=np.int64)
+        offsets = np.zeros(num_requests, dtype=np.int64)
+        for index, phase in enumerate(self.phases):
+            lo, hi = bounds[index], bounds[index + 1]
+            if hi <= lo:
+                continue
+            sampler = ZipfSampler(phase.num_keys, phase.alpha, rng=rng)
+            ranks[lo:hi] = sampler.sample(hi - lo)
+            offsets[lo:hi] = phase.key_offset
+        is_set = rng.random(num_requests) < self.set_fraction
+        for i in range(num_requests):
+            key = f"{self.app}:{self.namespace}:{offsets[i] + ranks[i]}"
+            yield Request(
+                time=float(times[i]),
+                app=self.app,
+                key=key,
+                op="set" if is_set[i] else "get",
+                value_size=self.size_model.size_of(key),
+            )
+
+
+@dataclass
+class FlashCrowdStream(RequestStream):
+    """A base stream overlaid with a flash crowd.
+
+    Inside the window ``[crowd_start, crowd_start + crowd_duration)``
+    (trace fractions) each request is redirected with probability
+    ``crowd_fraction`` to a tiny hot key set in its own namespace --
+    the "everyone loads the same page" burst. Outside the window the
+    base stream passes through untouched, so the crowd's footprint is
+    strictly time-local. Because the crowd keys all hash to a handful of
+    cluster shards, this is the canonical hot-shard generator.
+    """
+
+    app: str
+    base: RequestStream
+    size_model: SizeModel
+    crowd_keys: int = 8
+    crowd_fraction: float = 0.8
+    crowd_start: float = 0.4
+    crowd_duration: float = 0.2
+    crowd_alpha: float = 1.2
+    namespace: str = "flash"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.crowd_keys < 1:
+            raise ConfigurationError(
+                f"crowd_keys must be >= 1, got {self.crowd_keys}"
+            )
+        if not 0.0 <= self.crowd_fraction <= 1.0:
+            raise ConfigurationError(
+                f"crowd_fraction must be in [0, 1]: {self.crowd_fraction}"
+            )
+        if not 0.0 <= self.crowd_start < 1.0:
+            raise ConfigurationError(
+                f"crowd_start must be in [0, 1): {self.crowd_start}"
+            )
+        if (
+            self.crowd_duration <= 0
+            or self.crowd_start + self.crowd_duration > 1.0
+        ):
+            raise ConfigurationError(
+                f"crowd window [{self.crowd_start}, "
+                f"{self.crowd_start + self.crowd_duration}] must fit in "
+                f"[0, 1]"
+            )
+
+    def generate(
+        self, num_requests: int, duration: float, start_time: float = 0.0
+    ) -> Iterator[Request]:
+        rng = np.random.default_rng(self.seed)
+        coins = rng.random(num_requests)
+        sampler = ZipfSampler(self.crowd_keys, self.crowd_alpha, rng=rng)
+        crowd_ranks = sampler.sample(num_requests)
+        times = _timestamps(num_requests, duration, start_time)
+        window_lo = self.crowd_start
+        window_hi = self.crowd_start + self.crowd_duration
+        base_iter = iter(
+            self.base.generate(num_requests, duration, start_time)
+        )
+        for i in range(num_requests):
+            request = next(base_iter)
+            fraction = i / max(1, num_requests - 1)
+            if (
+                window_lo <= fraction < window_hi
+                and coins[i] < self.crowd_fraction
+            ):
+                key = f"{self.app}:{self.namespace}:{crowd_ranks[i]}"
+                yield Request(
+                    time=float(times[i]),
+                    app=self.app,
+                    key=key,
+                    op=request.op,
+                    value_size=self.size_model.size_of(key),
+                )
+            else:
+                yield request
+
+
 @dataclass
 class ScanStream(RequestStream):
     """A cyclic sequential scan over ``num_keys`` keys.

@@ -75,6 +75,137 @@ class TestFCFSEngine:
         engine.shrink_budget(before / 2)
         assert engine.used_bytes() <= engine.budget_bytes + 1e-6
 
+    def test_no_donor_bypasses_store(self):
+        """Regression: budget exhausted, new class, and no donor owns a
+        whole chunk -- the item must be bypassed, not inserted into a
+        queue that can never fit it (which left a ghost residency entry
+        and counted a phantom self-eviction)."""
+        engine = FirstComeFirstServeEngine("a", 2 * 256, GEO)
+        engine.process(get("s0", size=100))
+        engine.process(get("s1", size=100))
+        used_before = engine.used_bytes()
+        outcome = engine.process(put("big", size=3000))
+        assert outcome.evicted == 0
+        assert "big" not in engine._class_of_key
+        assert engine.used_bytes() == used_before
+        # The bypassed key is not resident: a later GET misses and a
+        # DELETE reports a miss instead of a ghost hit.
+        assert engine.process(get("big", size=3000)).hit is False
+        removed = engine.process(
+            Request(0.0, "a", "big", "delete", value_size=3000)
+        )
+        assert removed.hit is False
+        # The donor class that could not donate is untouched.
+        assert engine.process(get("s0")).hit is True
+
+    def test_zero_capacity_class_never_holds_items(self):
+        """Repeated over-capacity stores must not inflate eviction or
+        insert counts."""
+        engine = FirstComeFirstServeEngine("a", 2 * 256, GEO)
+        engine.process(get("s0", size=100))
+        engine.process(get("s1", size=100))
+        inserts_before = engine.ops.inserts
+        evictions_before = engine.ops.evictions
+        for _ in range(5):
+            engine.process(put("big", size=3000))
+        assert engine.ops.inserts == inserts_before
+        assert engine.ops.evictions == evictions_before
+        big_class = GEO.class_for_size(3000)
+        assert len(engine.queues[big_class]) == 0
+
+
+class TestBudgetEnforcement:
+    """grow_budget/shrink_budget round trips for both engines."""
+
+    def test_fcfs_shrink_resyncs_capacity_total(self):
+        engine = FirstComeFirstServeEngine("a", 64 * 256, GEO)
+        for i in range(64):
+            engine.process(get(f"k{i}", size=100))
+        # Inject float drift: _enforce_budget must re-sync from the queues.
+        engine._capacity_total += 1e-7
+        evicted = engine.shrink_budget(32 * 256)
+        assert engine._capacity_total == sum(
+            q.capacity for q in engine.queues.values()
+        )
+        assert engine._capacity_total <= engine.budget_bytes
+        assert evicted == 32  # one item per 256B chunk reclaimed
+
+    def test_fcfs_grow_shrink_round_trip(self):
+        engine = FirstComeFirstServeEngine("a", 16 * 256, GEO)
+        for i in range(16):
+            engine.process(get(f"k{i}", size=100))
+        engine.grow_budget(16 * 256)
+        for i in range(16, 32):
+            engine.process(get(f"k{i}", size=100))
+        assert engine.used_bytes() == 32 * 256
+        evicted = engine.shrink_budget(16 * 256)
+        assert engine.budget_bytes == 16 * 256
+        assert evicted == 16
+        assert engine.used_bytes() <= engine.budget_bytes
+        # The engine keeps serving and refilling after the shrink.
+        assert engine.process(get("k31")).hit is True
+        engine.process(get("fresh", size=100))
+        assert engine.process(get("fresh", size=100)).hit is True
+
+    def test_fcfs_shrink_prefers_largest_class(self):
+        engine = FirstComeFirstServeEngine("a", 4 * 256 + 4 * 1024, GEO)
+        for i in range(4):
+            engine.process(get(f"small{i}", size=100))
+        for i in range(4):
+            engine.process(get(f"large{i}", size=900))
+        engine.shrink_budget(2 * 1024)
+        caps = engine.capacities()
+        small_class = GEO.class_for_size(200)
+        large_class = GEO.class_for_size(1000)
+        # The 1024B class is always the max-capacity donor here.
+        assert caps[large_class] == 2 * 1024
+        assert caps[small_class] == 4 * 256
+
+    def test_fcfs_shrink_to_zero_evicts_everything(self):
+        engine = FirstComeFirstServeEngine("a", 8 * 256, GEO)
+        for i in range(8):
+            engine.process(get(f"k{i}", size=100))
+        evicted = engine.shrink_budget(8 * 256)
+        assert evicted == 8
+        assert engine.budget_bytes == 0.0
+        assert engine.used_bytes() == 0.0
+        assert engine._capacity_total == 0.0
+
+    def test_planned_shrink_scales_proportionally(self):
+        plan = {2: 8 * 256.0, 4: 8 * 1024.0}
+        budget = sum(plan.values())
+        engine = PlannedEngine("a", budget, GEO, plan)
+        for i in range(8):
+            engine.process(get(f"small{i}", size=100))
+        for i in range(8):
+            engine.process(get(f"large{i}", size=900))
+        evicted = engine.shrink_budget(budget / 2)
+        caps = engine.capacities()
+        assert caps[2] == pytest.approx(4 * 256.0)
+        assert caps[4] == pytest.approx(4 * 1024.0)
+        assert evicted > 0
+        assert engine.used_bytes() <= engine.budget_bytes + 1e-6
+        assert engine._capacity_total == pytest.approx(
+            sum(q.capacity for q in engine.queues.values())
+        )
+
+    def test_planned_shrink_within_budget_is_noop(self):
+        plan = {2: 4 * 256.0}
+        engine = PlannedEngine("a", 1 << 20, GEO, plan)
+        for i in range(4):
+            engine.process(get(f"k{i}", size=100))
+        evicted = engine.shrink_budget(1 << 19)  # still >= plan total
+        assert evicted == 0
+        assert engine.capacities()[2] == 4 * 256.0
+        assert engine.process(get("k3")).hit is True
+
+    def test_grow_and_shrink_reject_negative_deltas(self):
+        engine = FirstComeFirstServeEngine("a", 1 << 20, GEO)
+        with pytest.raises(ConfigurationError):
+            engine.grow_budget(-1.0)
+        with pytest.raises(ConfigurationError):
+            engine.shrink_budget(-1.0)
+
 
 class TestPlannedEngine:
     def test_plan_respected(self):
@@ -97,6 +228,20 @@ class TestPlannedEngine:
         engine = PlannedEngine("a", 1 << 20, GEO, {2: 2560.0})
         engine.process(get("big", size=5000))
         assert engine.process(get("big", size=5000)).hit is False
+
+    def test_starved_class_leaves_no_residue(self):
+        """Regression: bypassed stores must not register residency --
+        the ghost entry made DELETE report a hit and leaked one
+        _class_of_key entry per unique starved key."""
+        engine = PlannedEngine("a", 1 << 20, GEO, {2: 0.0})
+        for i in range(10):
+            engine.process(get(f"k{i}", size=100))
+        assert engine._class_of_key == {}
+        assert engine.ops.inserts == 0
+        removed = engine.process(
+            Request(0.0, "a", "k0", "delete", value_size=100)
+        )
+        assert removed.hit is False
 
 
 class TestGlobalLRUEngine:
@@ -160,3 +305,28 @@ class TestCacheServer:
         server.add_app(FirstComeFirstServeEngine("a", 1 << 20, GEO))
         server.process(get("k"))
         assert 0 < server.memory_in_use() <= server.memory_reserved()
+
+    def test_geometry_mismatch_raises_even_with_observers(self):
+        """Regression: the observer fallback returned before the
+        slab-geometry check, silently accepting a trace compiled for a
+        different ladder whenever observers were attached."""
+        from repro.workloads.compiled import CompiledTrace
+
+        other_geo = SlabGeometry((64, 4096))
+        compiled = CompiledTrace.compile([get("k")], other_geo)
+        server = CacheServer(GEO)
+        server.add_app(FirstComeFirstServeEngine("a", 1 << 20, GEO))
+        server.add_observer(lambda req, out: None)
+        with pytest.raises(ConfigurationError, match="slab geometry"):
+            server.replay_compiled(compiled)
+
+    def test_matching_geometry_with_observers_falls_back(self):
+        from repro.workloads.compiled import CompiledTrace
+
+        compiled = CompiledTrace.compile([get("k"), get("k")], GEO)
+        server = CacheServer(GEO)
+        server.add_app(FirstComeFirstServeEngine("a", 1 << 20, GEO))
+        seen = []
+        server.add_observer(lambda req, out: seen.append(out.hit))
+        server.replay_compiled(compiled)
+        assert seen == [False, True]

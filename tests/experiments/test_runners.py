@@ -36,7 +36,7 @@ def test_registry_covers_every_paper_artifact():
     expected = {
         "fig1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
         "tab1", "tab2", "tab3", "tab4", "tab5", "tab6", "tab7",
-        "sensitivity",
+        "sensitivity", "cluster_scaling",
     }
     assert set(REGISTRY) == expected
 

@@ -56,6 +56,18 @@ def scenarios() -> st.SearchStrategy[Scenario]:
         plans=plans,
         workload_params=st.dictionaries(APP_NAMES, JSON_SCALAR, max_size=4),
         engine_overrides=st.dictionaries(APP_NAMES, JSON_SCALAR, max_size=4),
+        cluster=st.one_of(
+            st.none(),
+            st.fixed_dictionaries(
+                {},
+                optional={
+                    "shards": st.integers(min_value=1, max_value=32),
+                    "hash_seed": st.integers(min_value=0, max_value=2**31),
+                    "replication": st.integers(min_value=1, max_value=8),
+                    "virtual_nodes": st.integers(min_value=1, max_value=128),
+                },
+            ),
+        ),
         name=st.one_of(st.none(), st.text(max_size=20)),
     )
 
@@ -91,6 +103,27 @@ def test_bad_scale_rejected():
 def test_bad_plans_string_rejected():
     with pytest.raises(ConfigurationError, match="plans"):
         Scenario(plans="sovler")
+
+
+def test_cluster_block_normalized_with_defaults():
+    scenario = Scenario(cluster={"shards": 4})
+    assert scenario.cluster == {
+        "shards": 4,
+        "hash_seed": 0,
+        "replication": 1,
+        "virtual_nodes": 64,
+    }
+    assert Scenario.from_dict(scenario.to_dict()) == scenario
+    assert "4shards" in scenario.label()
+
+
+def test_bad_cluster_blocks_rejected():
+    with pytest.raises(ConfigurationError, match="unknown cluster"):
+        Scenario(cluster={"shard": 4})
+    with pytest.raises(ConfigurationError, match="shard"):
+        Scenario(cluster={"shards": 0})
+    with pytest.raises(ConfigurationError, match="cluster"):
+        Scenario.from_dict({"cluster": "four"})
 
 
 def test_non_object_spec_rejected():

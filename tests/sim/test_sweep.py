@@ -115,3 +115,33 @@ def test_run_sweep_spec_roundtrip():
 def test_sweep_spec_unknown_fields_rejected():
     with pytest.raises(ConfigurationError, match="unknown sweep fields"):
         Sweep.from_dict({"base": {}, "axis": {}})
+
+
+def test_spec_workers_key_is_wired_through():
+    """Regression: from_dict whitelisted 'workers' but silently dropped
+    it, so CLI sweep specs always ran serially."""
+    spec = {
+        "base": {
+            "workload": "zipf",
+            "scale": 0.1,
+            "workload_params": TINY_ZIPF,
+        },
+        "axes": {"seed": [0, 1]},
+        "workers": 2,
+    }
+    sweep = Sweep.from_dict(spec)
+    assert sweep.workers == 2
+    # run() defaults to the spec's workers (no speedup assert: the
+    # container may have a single CPU)...
+    outcome = sweep.run()
+    assert outcome.workers == 2
+    # ...and an explicit argument still overrides the spec.
+    assert sweep.run(workers=1).workers == 1
+    assert sweep.to_dict()["workers"] == 2
+
+
+def test_bad_workers_rejected():
+    with pytest.raises(ConfigurationError, match="workers"):
+        Sweep.from_dict({"base": {}, "workers": 0})
+    with pytest.raises(ConfigurationError, match="workers"):
+        Sweep.from_dict({"base": {}, "workers": "four"})
