@@ -12,6 +12,10 @@ with ``budget/N`` bytes, mirroring the paper's no-coordination design
    load report (the crowd's keys pile onto whichever shards own them);
 3. sweeps shard counts with a ``cluster.shards`` axis.
 
+Shard budgets stay frozen at ``total/N`` here; see
+``examples/rebalance_demo.py`` for the ``rebalance`` block that lets
+hot shards steal budget from cold ones online.
+
     python examples/cluster_demo.py
 """
 

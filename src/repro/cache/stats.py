@@ -319,3 +319,13 @@ class TimelineRecorder:
                 (t, {name: column[i] for name, column in self.series.items()})
             )
         return rows
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe payload (what reports embed and results serialize)."""
+        return {
+            "interval": self.interval,
+            "times": list(self.times),
+            "series": {
+                name: list(column) for name, column in self.series.items()
+            },
+        }

@@ -5,6 +5,10 @@ shards, routes keys over a :class:`HashRing`, and aggregates per-shard
 statistics into one :class:`ClusterReport` (per-app hit rates, per-shard
 load, imbalance, hot-shard detection). Scenarios opt in through their
 ``cluster`` block; see :func:`repro.sim.run_scenario`.
+
+Shard budgets default to a frozen even split; a scenario's ``rebalance``
+block attaches an epoch-driven :class:`Rebalancer` that moves budget
+credits between shards online (see :mod:`repro.cluster.rebalance`).
 """
 
 from repro.cluster.cluster import (
@@ -15,12 +19,15 @@ from repro.cluster.cluster import (
     render_cluster_report,
 )
 from repro.cluster.hashring import HashRing
+from repro.cluster.rebalance import RebalanceConfig, Rebalancer
 
 __all__ = [
     "Cluster",
     "ClusterConfig",
     "ClusterReport",
     "HashRing",
+    "RebalanceConfig",
+    "Rebalancer",
     "ShardLoad",
     "render_cluster_report",
 ]

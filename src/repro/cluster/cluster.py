@@ -13,6 +13,12 @@ round-robin across its R successor shards on the ring. Every replica
 fills its cache independently, so replication trades per-replica hit
 rate for hot-shard load relief -- the standard "replicate the hot
 partition" memcache deployment move.
+
+Shard budgets start frozen at an even split. Attaching a
+:class:`~repro.cluster.rebalance.Rebalancer` turns the split online:
+every epoch the replay pauses to move budget credits between shards
+(see :mod:`repro.cluster.rebalance`); with no rebalancer attached the
+replay is bit-identical to the static path.
 """
 
 from __future__ import annotations
@@ -138,6 +144,22 @@ def render_cluster_report(payload: Dict[str, Any]) -> List[str]:
             f"hit rate {load['hit_rate']:.4f}, "
             f"{load['memory_used_bytes'] / (1 << 20):.2f} MB used{mark}"
         )
+    rebalance = payload.get("rebalance")
+    if rebalance is not None:
+        lines.append(
+            f"  rebalance ({rebalance['policy']}): "
+            f"{rebalance['transfers']} transfer(s) of "
+            f"{rebalance['credit_bytes'] / 1024:.0f} KB over "
+            f"{rebalance['epochs']} epoch(s) of "
+            f"{rebalance['epoch_requests']:,} requests"
+        )
+        lines.append(
+            "  shard budgets now: "
+            + ", ".join(
+                f"{budget / (1 << 20):.2f} MB"
+                for budget in rebalance["shard_budgets"]
+            )
+        )
     return lines
 
 
@@ -159,6 +181,10 @@ class ClusterReport:
     shard_loads: List[ShardLoad]
     imbalance: float
     hot_shards: List[int]
+    #: :meth:`repro.cluster.rebalance.Rebalancer.to_dict` payload (config,
+    #: transfer counts, per-epoch allocation timeline); None when the
+    #: replay used the static split.
+    rebalance: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -171,6 +197,9 @@ class ClusterReport:
             "shard_loads": [load.to_dict() for load in self.shard_loads],
             "imbalance": self.imbalance,
             "hot_shards": list(self.hot_shards),
+            "rebalance": (
+                dict(self.rebalance) if self.rebalance is not None else None
+            ),
         }
 
     def render(self) -> str:
@@ -205,6 +234,8 @@ class Cluster:
         self.servers = [
             CacheServer(self.geometry) for _ in range(config.shards)
         ]
+        #: Optional online rebalancer (see :meth:`attach_rebalancer`).
+        self.rebalancer = None
         # Per-key round-robin counters for the object API (the compiled
         # replay keeps its own array-based counters).
         self._spread: Dict[object, int] = {}
@@ -229,6 +260,12 @@ class Cluster:
                     f"named {engine.app!r}"
                 )
             server.add_app(engine)
+
+    def attach_rebalancer(self, rebalancer) -> None:
+        """Install a :class:`~repro.cluster.rebalance.Rebalancer`; the
+        next :meth:`replay_compiled` takes the epoch-driven path and the
+        cluster report grows a ``rebalance`` section."""
+        self.rebalancer = rebalancer
 
     # ------------------------------------------------------------------
 
@@ -255,8 +292,13 @@ class Cluster:
         Per-shard stats land in each shard server's own registry; the
         returned registry is the cluster-wide aggregate. A one-shard
         cluster delegates to :meth:`CacheServer.replay_compiled`
-        unchanged, which is what the parity tests pin down.
+        unchanged, which is what the parity tests pin down. With a
+        rebalancer attached the replay switches to the epoch-driven
+        loop in :meth:`_replay_with_epochs`; without one this static
+        path is untouched.
         """
+        if self.rebalancer is not None:
+            return self._replay_with_epochs(trace)
         if len(self.servers) == 1:
             self.servers[0].replay_compiled(trace)
             return self.aggregate_stats()
@@ -319,6 +361,76 @@ class Cluster:
             )
         return self.aggregate_stats()
 
+    def _replay_with_epochs(self, trace) -> StatsRegistry:
+        """The rebalancing replay: the compiled loop plus an epoch
+        counter that hands control to the rebalancer every
+        ``epoch_requests`` requests. Kept separate from the static loop
+        so attaching no rebalancer costs nothing and stays bit-identical
+        to the pre-rebalance replay. Unlike the static path, a one-shard
+        cluster runs the full loop here too (rebalancing degenerates to
+        timeline recording; there is never a donor shard)."""
+        if trace.geometry.chunk_sizes != self.geometry.chunk_sizes:
+            raise ConfigurationError(
+                "compiled trace was built for a different slab geometry "
+                f"({trace.geometry.chunk_sizes} vs "
+                f"{self.geometry.chunk_sizes}); recompile it"
+            )
+        rebalancer = self.rebalancer
+        epoch_requests = rebalancer.config.epoch_requests
+        replication = self.replication
+        if replication > 1:
+            replicas_of_key: List[Optional[List[int]]] = [None] * len(
+                trace.key_table
+            )
+            turn_of_key = [0] * len(trace.key_table)
+        else:
+            primary_of_key: List[Optional[int]] = [None] * len(
+                trace.key_table
+            )
+        engines = [
+            [server.engines.get(name) for name in trace.app_table]
+            for server in self.servers
+        ]
+        records = [server.stats.record_code for server in self.servers]
+        until_epoch = epoch_requests
+        for app_id, key_id, key, op, class_index, chunk, item_bytes in zip(
+            trace.app_ids,
+            trace.key_ids,
+            trace.keys,
+            trace.op_codes,
+            trace.slab_classes,
+            trace.chunk_bytes,
+            trace.item_bytes,
+        ):
+            if replication > 1:
+                choices = replicas_of_key[key_id]
+                if choices is None:
+                    choices = replicas_of_key[key_id] = self.ring.shards_for(
+                        key, replication
+                    )
+                turn = turn_of_key[key_id]
+                turn_of_key[key_id] = turn + 1
+                shard = choices[turn % len(choices)]
+            else:
+                shard = primary_of_key[key_id]
+                if shard is None:
+                    shard = primary_of_key[key_id] = self.ring.shard_for(key)
+            engine = engines[shard][app_id]
+            if engine is None:
+                raise ConfigurationError(
+                    f"request for unknown app {trace.app_table[app_id]!r}"
+                )
+            records[shard](
+                engine.app,
+                op,
+                engine.process_fast(key, op, class_index, chunk, item_bytes),
+            )
+            until_epoch -= 1
+            if until_epoch == 0:
+                until_epoch = epoch_requests
+                rebalancer.on_epoch()
+        return self.aggregate_stats()
+
     # ------------------------------------------------------------------
 
     def aggregate_stats(self) -> StatsRegistry:
@@ -374,6 +486,11 @@ class Cluster:
             shard_loads=loads,
             imbalance=imbalance,
             hot_shards=hot_shards,
+            rebalance=(
+                self.rebalancer.to_dict()
+                if self.rebalancer is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,281 @@
+"""Epoch-driven online rebalancing of shard budgets.
+
+The paper's hill climbing stops at the single-server boundary: "Cliffhanger
+runs on each memory cache server and does not require any coordination
+between different servers" (section 4.3). That leaves cluster-level memory
+frozen at whatever split the operator chose, so a shard that turns hot --
+a flash crowd landing on its keys, or a ring that handed it a larger slice
+of the keyspace -- cannot borrow bytes from a cold one.
+
+This module extends Algorithm 1 one level up. Shards become the resize
+targets of a :class:`~repro.core.hill_climbing.HillClimber`: every
+``epoch_requests`` requests the :class:`Rebalancer` reads per-shard demand
+signals from the shard servers' own stats registries and grants one credit
+to the neediest shard, shrinking a random other shard exactly like the
+paper's queue-level algorithm. Two signals are supported:
+
+* ``shadow`` -- the epoch's shadow-hit delta per shard: requests that
+  missed physically but would have hit with a little more memory. This is
+  the paper's own gradient signal, aggregated per server; it requires a
+  shadow-capable scheme (``hill``, ``cliffhanger``, ...).
+* ``load`` -- the epoch's request-count delta per shard: byte-blind but
+  scheme-agnostic, the classic "feed the busiest shard" heuristic.
+
+Growing or shrinking a shard re-divides its server's reservation across
+that shard's per-app engines proportionally, through the same
+``grow_budget``/``shrink_budget`` hooks
+:class:`~repro.core.crossapp.CrossAppHillClimber` uses within one server.
+Every epoch's resulting allocation is sampled into a
+:class:`~repro.cache.stats.TimelineRecorder`, which is what the cluster
+report exposes as the rebalance timeline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.cache.stats import TimelineRecorder
+from repro.common.constants import (
+    DEFAULT_EPOCH_REQUESTS,
+    DEFAULT_MIN_SHARD_FRACTION,
+    DEFAULT_REBALANCE_CREDIT_BYTES,
+)
+from repro.common.errors import ConfigurationError
+from repro.core.hill_climbing import HillClimber
+
+#: Signal policies :class:`RebalanceConfig` accepts.
+POLICIES = ("shadow", "load")
+
+
+@dataclass(frozen=True)
+class RebalanceConfig:
+    """The serializable shape of a scenario's ``rebalance`` block.
+
+    ``epoch_requests == 0`` disables rebalancing entirely -- the replay
+    stays on the static-split path, bit for bit (the parity tests pin
+    this down).
+    """
+
+    epoch_requests: int = DEFAULT_EPOCH_REQUESTS
+    credit_bytes: float = DEFAULT_REBALANCE_CREDIT_BYTES
+    min_shard_fraction: float = DEFAULT_MIN_SHARD_FRACTION
+    policy: str = "shadow"
+
+    def __post_init__(self) -> None:
+        if self.epoch_requests < 0:
+            raise ConfigurationError(
+                f"epoch_requests must be >= 0, got {self.epoch_requests}"
+            )
+        if self.credit_bytes <= 0:
+            raise ConfigurationError(
+                f"credit_bytes must be positive, got {self.credit_bytes}"
+            )
+        if not 0.0 <= self.min_shard_fraction < 1.0:
+            raise ConfigurationError(
+                f"min_shard_fraction must be in [0, 1), got "
+                f"{self.min_shard_fraction}"
+            )
+        if self.policy not in POLICIES:
+            raise ConfigurationError(
+                f"unknown rebalance policy {self.policy!r}; known: "
+                f"{', '.join(POLICIES)}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.epoch_requests > 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "epoch_requests": self.epoch_requests,
+            "credit_bytes": self.credit_bytes,
+            "min_shard_fraction": self.min_shard_fraction,
+            "policy": self.policy,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Optional[Dict[str, Any]]) -> "RebalanceConfig":
+        if payload is None:
+            return cls()
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"rebalance block must be an object, got "
+                f"{type(payload).__name__}"
+            )
+        known = {
+            "epoch_requests", "credit_bytes", "min_shard_fraction", "policy",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown rebalance fields: {', '.join(sorted(unknown))}"
+            )
+        try:
+            return cls(
+                epoch_requests=int(
+                    payload.get("epoch_requests", DEFAULT_EPOCH_REQUESTS)
+                ),
+                credit_bytes=float(
+                    payload.get(
+                        "credit_bytes", DEFAULT_REBALANCE_CREDIT_BYTES
+                    )
+                ),
+                min_shard_fraction=float(
+                    payload.get(
+                        "min_shard_fraction", DEFAULT_MIN_SHARD_FRACTION
+                    )
+                ),
+                policy=str(payload.get("policy", "shadow")),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"bad rebalance block: {exc}") from None
+
+
+class Rebalancer:
+    """Algorithm 1 over the shards of one :class:`~repro.cluster.Cluster`.
+
+    Attach with :meth:`repro.cluster.Cluster.attach_rebalancer`; the
+    cluster replay then calls :meth:`on_epoch` every
+    ``config.epoch_requests`` requests. Determinism: the victim RNG is
+    seeded from ``seed``, signals are integer counters, and ties go to
+    the lowest shard index, so a fixed scenario seed yields a fixed epoch
+    timeline.
+    """
+
+    def __init__(
+        self, cluster, config: RebalanceConfig, seed: int = 0
+    ) -> None:
+        if not config.enabled:
+            raise ConfigurationError(
+                "rebalancer built from a disabled config "
+                "(epoch_requests == 0); keep the static split instead"
+            )
+        self.cluster = cluster
+        self.config = config
+        total = cluster.memory_reserved()
+        #: Byte floor per shard: a fraction of the even split.
+        self.floor_bytes = config.min_shard_fraction * (
+            total / cluster.shards
+        )
+        self.climber = HillClimber(
+            credit_bytes=config.credit_bytes,
+            min_bytes=self.floor_bytes,
+            rng=random.Random(seed),
+        )
+        for shard in range(cluster.shards):
+            self.climber.register(
+                shard,
+                get_capacity=lambda s=shard: self.shard_budget(s),
+                set_capacity=lambda cap, s=shard: self._set_shard_budget(
+                    s, cap
+                ),
+            )
+        self.epochs = 0
+        self.evictions = 0
+        self._last_signal = self._signals()
+        self.timeline = TimelineRecorder(interval=1.0)
+        self._sample()  # epoch 0: the starting (static) allocation
+
+    # ------------------------------------------------------------------
+    # Shard budgets as hill-climber resize targets
+    # ------------------------------------------------------------------
+
+    def shard_budget(self, shard: int) -> float:
+        """One shard's reservation: the sum of its engines' budgets."""
+        return sum(
+            engine.budget_bytes
+            for engine in self.cluster.servers[shard].engines.values()
+        )
+
+    def budgets(self) -> List[float]:
+        return [self.shard_budget(s) for s in range(self.cluster.shards)]
+
+    def _set_shard_budget(self, shard: int, target: float) -> None:
+        """Scale the shard's per-app engine budgets to sum to ``target``.
+
+        Proportional scaling keeps the apps' relative shares on the shard
+        intact; only the shard's total moves, mirroring how an operator
+        resizes a memcache instance rather than one tenant on it.
+        """
+        engines = self.cluster.servers[shard].engines.values()
+        current = self.shard_budget(shard)
+        if current <= 0:
+            # A fully drained shard (min_shard_fraction == 0) has no
+            # proportions left to scale; split the grant evenly across
+            # its apps so the victim's credit is never destroyed.
+            if target > 0 and engines:
+                share = target / len(engines)
+                for engine in engines:
+                    engine.grow_budget(share - engine.budget_bytes)
+            return
+        scale = target / current
+        for engine in engines:
+            delta = engine.budget_bytes * (scale - 1.0)
+            if delta >= 0:
+                engine.grow_budget(delta)
+            else:
+                self.evictions += engine.shrink_budget(-delta)
+
+    # ------------------------------------------------------------------
+    # Epoch handling
+    # ------------------------------------------------------------------
+
+    def _signals(self) -> List[int]:
+        """Cumulative per-shard demand signal (policy-dependent)."""
+        servers = self.cluster.servers
+        if self.config.policy == "shadow":
+            return [server.stats.total.shadow_hits for server in servers]
+        return [
+            server.stats.total.gets + server.stats.total.sets
+            for server in servers
+        ]
+
+    def on_epoch(self) -> Optional[int]:
+        """One rebalance decision: grow the neediest shard, shrink a
+        random other (Algorithm 1 with shards as queues). Returns the
+        donor shard, or None when no transfer happened (no demand signal
+        this epoch, or every other shard sits at the floor)."""
+        current = self._signals()
+        deltas = [
+            now - before
+            for now, before in zip(current, self._last_signal)
+        ]
+        self._last_signal = current
+        self.epochs += 1
+        victim = None
+        best = max(deltas)
+        if best > 0:
+            winner = deltas.index(best)  # ties: lowest shard index
+            victim = self.climber.on_shadow_hit(winner)
+        self._sample()
+        return victim
+
+    def _sample(self) -> None:
+        self.timeline.maybe_sample(
+            float(self.epochs),
+            {
+                f"shard{shard}": self.shard_budget(shard)
+                for shard in range(self.cluster.shards)
+            },
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def transfers(self) -> int:
+        return self.climber.transfers
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The report payload: config, outcome counters, and the
+        per-epoch allocation timeline."""
+        payload = self.config.to_dict()
+        payload.update(
+            epochs=self.epochs,
+            transfers=self.transfers,
+            rebalance_evictions=self.evictions,
+            shard_budgets=self.budgets(),
+            timeline=self.timeline.to_dict(),
+        )
+        return payload

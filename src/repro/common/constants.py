@@ -71,3 +71,23 @@ MIN_QUEUE_BYTES = 4096
 #: thrash; the paper accumulates credits and re-allocates "once a queue
 #: reaches a certain amount of credits" (section 4.1).
 CREDIT_TRANSFER_THRESHOLD_BYTES = DEFAULT_CREDIT_BYTES
+
+# --------------------------------------------------------------------------
+# Cross-shard rebalancing defaults (beyond the paper: the paper's algorithm
+# stops at the single-server boundary, section 4.3)
+# --------------------------------------------------------------------------
+
+#: Requests between cross-shard rebalance decisions. Shard-level moves are
+#: epoch-driven rather than per-shadow-hit: a shard aggregates many queues,
+#: so per-request decisions would thrash on noise a single queue never sees.
+DEFAULT_EPOCH_REQUESTS = 1000
+
+#: Bytes moved between shards per epoch decision. Coarser than the paper's
+#: per-queue 4 KB credit because one transfer re-divides a whole server's
+#: reservation, not a single slab class's.
+DEFAULT_REBALANCE_CREDIT_BYTES = 16 * DEFAULT_CREDIT_BYTES
+
+#: Fraction of its even split (total budget / shards) below which a shard
+#: is never shrunk, so a cooled-down shard can still observe returning
+#: demand -- the shard-level analogue of :data:`MIN_QUEUE_BYTES`.
+DEFAULT_MIN_SHARD_FRACTION = 0.1

@@ -1,0 +1,126 @@
+"""Online cross-shard rebalancing vs. the static even split.
+
+Beyond the paper: section 4.3 stops coordination at the server boundary,
+so a cluster's per-shard budgets stay frozen at ``total/N`` forever. This
+experiment replays a flash-crowd workload over a deliberately uneven ring
+(few virtual nodes, so consistent hashing hands some shards a larger
+slice of the keyspace) and compares three allocations:
+
+* ``static``  -- the frozen even split (PR 3 behaviour);
+* ``shadow``  -- epoch-driven budget stealing toward the shard with the
+  most shadow hits (the paper's gradient signal, aggregated per server);
+* ``load``    -- the same stealing toward the busiest shard (byte-blind,
+  scheme-agnostic).
+
+Expected: the hot shard's budget grows well past its even share
+(``hot_budget_x``) and both online policies beat the static split's
+aggregate hit rate -- memory follows demand that a static divide cannot
+see.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, FULL_SCALE
+from repro.sim import Scenario, load_workload, miss_reduction, run_scenario
+
+#: Flash-crowd tenants (mirrors the cluster_scaling experiment's pair).
+WORKLOAD_PARAMS = {
+    "apps": 2,
+    "num_keys": 20_000,
+    "requests_per_app": 80_000,
+    "crowd_fraction": 0.7,
+}
+
+#: Few virtual nodes on purpose: the ring then splits the keyspace
+#: unevenly, which is exactly the imbalance a static budget split cannot
+#: correct and the rebalancer can.
+VIRTUAL_NODES = 4
+
+#: Credit per epoch as a fraction of the even per-shard split.
+CREDIT_FRACTION = 0.05
+
+#: Epochs per replay (epoch_requests is derived from the trace length so
+#: the decision cadence survives trace scaling).
+TARGET_EPOCHS = 32
+
+
+def run(
+    scale: float = FULL_SCALE,
+    seed: int = 0,
+    shards: int = 4,
+    scheme: str = "hill",
+) -> ExperimentResult:
+    trace = load_workload(
+        "flash-crowd", scale=scale, seed=seed, **WORKLOAD_PARAMS
+    )
+    total_requests = sum(trace.requests_per_app.values())
+    even_share = sum(trace.reservations.values()) / shards
+    epoch_requests = max(50, total_requests // TARGET_EPOCHS)
+    credit_bytes = CREDIT_FRACTION * even_share
+    base = Scenario(
+        scheme=scheme,
+        workload="flash-crowd",
+        scale=scale,
+        seed=seed,
+        workload_params=dict(WORKLOAD_PARAMS),
+        cluster={"shards": int(shards), "virtual_nodes": VIRTUAL_NODES},
+    )
+    result = ExperimentResult(
+        experiment_id="cluster_rebalance",
+        title="Online cross-shard rebalancing under a flash crowd",
+        headers=[
+            "policy",
+            "epoch_requests",
+            "hit_rate",
+            "miss_reduction",
+            "transfers",
+            "hot_budget_x",
+            "imbalance",
+        ],
+        paper_reference=(
+            "Algorithm 1 lifted to shard granularity; the paper stops at "
+            "the single-server boundary (section 4.3)"
+        ),
+    )
+    static = run_scenario(base)
+    result.rows.append(
+        [
+            "static",
+            0,
+            static.overall_hit_rate,
+            0.0,
+            0,
+            1.0,
+            static.cluster_report["imbalance"],
+        ]
+    )
+    for policy in ("shadow", "load"):
+        outcome = run_scenario(
+            base.replace(
+                rebalance={
+                    "epoch_requests": int(epoch_requests),
+                    "credit_bytes": float(credit_bytes),
+                    "policy": policy,
+                }
+            )
+        )
+        rebalance = outcome.cluster_report["rebalance"]
+        result.rows.append(
+            [
+                policy,
+                int(epoch_requests),
+                outcome.overall_hit_rate,
+                miss_reduction(
+                    static.overall_hit_rate, outcome.overall_hit_rate
+                ),
+                rebalance["transfers"],
+                max(rebalance["shard_budgets"]) / even_share,
+                outcome.cluster_report["imbalance"],
+            ]
+        )
+    result.notes = (
+        f"scheme {scheme}, {shards} shards, {VIRTUAL_NODES} vnodes (uneven "
+        "ring on purpose); hot_budget_x is the largest final shard budget "
+        "over the even split; miss_reduction is vs. the static row"
+    )
+    return result

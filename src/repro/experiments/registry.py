@@ -6,6 +6,7 @@ from typing import Callable, Dict, List
 
 from repro.common.errors import ConfigurationError
 from repro.experiments import (
+    cluster_rebalance,
     cluster_scaling,
     fig1_hrc,
     fig2_solver,
@@ -46,6 +47,7 @@ REGISTRY: Dict[str, Runner] = {
     "tab7": table7_throughput.run,
     "sensitivity": sensitivity.run,
     "cluster_scaling": cluster_scaling.run,
+    "cluster_rebalance": cluster_rebalance.run,
 }
 
 

@@ -2,11 +2,13 @@
 
 Everything this reproduction can run -- single replays, the paper's
 experiment suite, parameter sweeps -- is described by a serializable
-:class:`Scenario` (workload x scheme x policy x budgets x scale x seed)
-and executed by :func:`run_scenario` or, for grids, a :class:`Sweep`
-across worker processes. New engine schemes and workloads plug in via
-the :func:`register_scheme` / :func:`register_workload` decorators
-instead of editing the harness.
+:class:`Scenario` (workload x scheme x policy x budgets x scale x seed,
+plus optional ``cluster`` and ``rebalance`` blocks for sharded replays
+with online cross-shard budget stealing) and executed by
+:func:`run_scenario` or, for grids, a :class:`Sweep` across worker
+processes. New engine schemes and workloads plug in via the
+:func:`register_scheme` / :func:`register_workload` decorators instead
+of editing the harness.
 
 Quickstart::
 

@@ -139,10 +139,22 @@ def replay_on_cluster(
 
     Returns ``(cluster, aggregated_stats, elapsed_seconds)``. Cluster
     replays always take the compiled fast path; per-request observers
-    are a single-server feature.
+    are a single-server feature. A ``rebalance`` block with a nonzero
+    ``epoch_requests`` attaches an online
+    :class:`~repro.cluster.rebalance.Rebalancer` (seeded from the
+    scenario seed) before the replay; otherwise the static even split
+    runs untouched.
     """
+    from repro.cluster import RebalanceConfig, Rebalancer
+
     chosen = _chosen_apps(scenario, trace)
     cluster = build_cluster(scenario, trace)
+    if scenario.rebalance is not None:
+        rebalance = RebalanceConfig.from_dict(scenario.rebalance)
+        if rebalance.enabled:
+            cluster.attach_rebalancer(
+                Rebalancer(cluster, rebalance, seed=scenario.seed)
+            )
     compiled = getattr(trace, "compiled", None)
     if compiled is None:
         raise ConfigurationError(
@@ -214,7 +226,10 @@ def run_scenario(
 
     Scenarios with a ``cluster`` block replay across N shard servers
     (consistent-hash key routing, budgets split per shard); the result
-    carries the aggregate ``cluster_report``.
+    carries the aggregate ``cluster_report``. Adding a ``rebalance``
+    block turns the per-shard split online: budgets drift toward the
+    neediest shards every epoch, and the cluster report's ``rebalance``
+    section records the per-epoch allocation timeline.
     """
     trace = load_workload(
         scenario.workload,

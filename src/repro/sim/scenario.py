@@ -63,6 +63,14 @@ class Scenario:
             "virtual_nodes": V}``); when present the replay routes keys
             across N shard servers by consistent hashing (see
             :mod:`repro.cluster`). Budgets are split evenly per shard.
+        rebalance: Optional online-rebalancing block
+            (``{"epoch_requests": N, "credit_bytes": B,
+            "min_shard_fraction": F, "policy": "shadow"|"load"}``);
+            requires a ``cluster`` block. Every N requests the replay
+            moves budget credits toward the neediest shard (see
+            :mod:`repro.cluster.rebalance`). ``epoch_requests: 0``
+            disables it: the replay stays bit-identical to the static
+            split.
         name: Optional label (sweeps generate one per grid point).
     """
 
@@ -77,6 +85,7 @@ class Scenario:
     workload_params: Dict[str, Any] = field(default_factory=dict)
     engine_overrides: Dict[str, Any] = field(default_factory=dict)
     cluster: Optional[Dict[str, Any]] = None
+    rebalance: Optional[Dict[str, Any]] = None
     name: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -101,6 +110,17 @@ class Scenario:
             from repro.cluster import ClusterConfig
 
             self.cluster = ClusterConfig.from_dict(self.cluster).to_dict()
+        if self.rebalance is not None:
+            if self.cluster is None:
+                raise ConfigurationError(
+                    "rebalance needs a cluster block: online rebalancing "
+                    "moves budget between shards"
+                )
+            from repro.cluster import RebalanceConfig
+
+            self.rebalance = RebalanceConfig.from_dict(
+                self.rebalance
+            ).to_dict()
 
     # ------------------------------------------------------------------
     # Serialization
@@ -127,6 +147,9 @@ class Scenario:
             "workload_params": dict(self.workload_params),
             "engine_overrides": dict(self.engine_overrides),
             "cluster": dict(self.cluster) if self.cluster is not None else None,
+            "rebalance": (
+                dict(self.rebalance) if self.rebalance is not None else None
+            ),
             "name": self.name,
         }
 
@@ -139,7 +162,7 @@ class Scenario:
         known = {
             "scheme", "workload", "policy", "scale", "seed", "apps",
             "budgets", "plans", "workload_params", "engine_overrides",
-            "cluster", "name",
+            "cluster", "rebalance", "name",
         }
         unknown = set(payload) - known
         if unknown:
@@ -191,6 +214,8 @@ class Scenario:
         label = f"{self.workload}/{self.scheme}/{self.policy}@{self.scale!r}s{self.seed}"
         if self.cluster is not None:
             label += f"/{self.cluster['shards']}shards"
+        if self.rebalance is not None and self.rebalance["epoch_requests"]:
+            label += f"/rebal-{self.rebalance['policy']}"
         return label
 
 

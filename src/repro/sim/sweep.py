@@ -5,7 +5,8 @@ ordered mapping of field paths to value lists -- into the full cross
 product and runs every grid point, either serially or on a process pool.
 Axis keys name scenario fields (``"scheme"``, ``"seed"``) or dotted
 paths into the nested dicts (``"workload_params.total_requests"``,
-``"engine_overrides.credit_bytes"``, ``"budgets.app19"``).
+``"engine_overrides.credit_bytes"``, ``"budgets.app19"``,
+``"cluster.shards"``, ``"rebalance.epoch_requests"``).
 
 Worker processes receive plain scenario dicts (everything is JSON-safe)
 and share the on-disk compiled-trace cache, so a grid over schemes or

@@ -159,3 +159,40 @@ class TestReport:
         cluster.replay_compiled(compile_gets([f"k{i}" for i in range(50)]))
         assert cluster.memory_reserved() == pytest.approx(1 << 20)
         assert 0 < cluster.memory_in_use() <= cluster.memory_reserved()
+
+
+class TestRebalancerAttachment:
+    """Cluster-level rebalancing API, below the Scenario layer."""
+
+    def test_report_carries_no_rebalance_section_by_default(self):
+        cluster = build(2)
+        cluster.replay_compiled(compile_gets([f"k{i}" for i in range(50)]))
+        assert cluster.rebalancer is None
+        assert cluster.report().to_dict()["rebalance"] is None
+
+    def test_attached_rebalancer_fires_epochs_and_moves_load_budget(self):
+        from repro.cluster import RebalanceConfig, Rebalancer
+
+        cluster = build(4, budget=1 << 20)
+        cluster.attach_rebalancer(
+            Rebalancer(
+                cluster,
+                RebalanceConfig(
+                    epoch_requests=100,
+                    credit_bytes=4096.0,
+                    policy="load",
+                ),
+                seed=0,
+            )
+        )
+        # One hot key dominates: its shard should win every epoch.
+        hot_shard = cluster.ring.shard_for("hot")
+        keys = (["hot"] * 9 + ["cold"]) * 100
+        cluster.replay_compiled(compile_gets(keys))
+        report = cluster.report().to_dict()["rebalance"]
+        assert report["epochs"] == len(keys) // 100
+        assert report["transfers"] == report["epochs"]
+        budgets = report["shard_budgets"]
+        assert budgets[hot_shard] == max(budgets)
+        assert sum(budgets) == pytest.approx(1 << 20)  # app total conserved
+        assert "rebalance (load)" in cluster.report().render()

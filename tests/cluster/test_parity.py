@@ -6,7 +6,10 @@ registry -- so at seed 0 it must reproduce the plain
 :func:`run_scenario` results *bit for bit* (exact float equality, no
 tolerances), for every scheme the experiments use. A >= 4-shard
 dynamic-workload scenario must also run end to end through
-``run_scenario`` and the CLI.
+``run_scenario`` and the CLI. The same discipline covers online
+rebalancing: a ``rebalance`` block that is omitted or disabled
+(``epoch_requests: 0``) must leave the static-split replay untouched
+down to per-(app, class) counters on every shard.
 """
 
 from __future__ import annotations
@@ -143,3 +146,53 @@ def test_observer_rejected_for_cluster_scenarios():
 
     with pytest.raises(ConfigurationError, match="observer"):
         run_scenario(DYNAMIC, observer=lambda request, outcome: None)
+
+
+# ---------------------------------------------------------------------------
+# Rebalance parity: without an *enabled* rebalance block, the cluster
+# replay must stay on the static-split path, bit for bit.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "rebalance",
+    [
+        {"epoch_requests": 0},
+        {"epoch_requests": 0, "policy": "load", "credit_bytes": 65536.0},
+    ],
+    ids=["epoch-zero", "epoch-zero-load"],
+)
+def test_disabled_rebalance_bit_identical_to_static_split(rebalance):
+    plain = run_scenario(DYNAMIC, keep_server=True)
+    gated = run_scenario(
+        DYNAMIC.replace(rebalance=rebalance), keep_server=True
+    )
+    assert gated.hit_rates == plain.hit_rates  # exact float equality
+    assert gated.overall_hit_rate == plain.overall_hit_rate
+    assert gated.requests == plain.requests
+    assert gated.budgets == plain.budgets
+    # Down to per-(app, slab class) counters, aggregated...
+    assert counters_snapshot(gated.stats) == counters_snapshot(plain.stats)
+    # ...and per shard server.
+    for plain_shard, gated_shard in zip(
+        plain.cluster.servers, gated.cluster.servers
+    ):
+        assert counters_snapshot(gated_shard.stats) == counters_snapshot(
+            plain_shard.stats
+        )
+    # The report shows no rebalance section either way.
+    assert plain.cluster_report["rebalance"] is None
+    assert gated.cluster_report["rebalance"] is None
+
+
+def test_one_shard_disabled_rebalance_still_matches_server_path():
+    plain = run_scenario(MEMCACHIER, keep_server=True)
+    gated = run_scenario(
+        MEMCACHIER.replace(
+            cluster={"shards": 1}, rebalance={"epoch_requests": 0}
+        ),
+        keep_server=True,
+    )
+    assert gated.hit_rates == plain.hit_rates
+    assert gated.overall_hit_rate == plain.overall_hit_rate
+    assert counters_snapshot(gated.stats) == counters_snapshot(plain.stats)

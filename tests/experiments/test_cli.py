@@ -1,0 +1,164 @@
+"""CLI contract tests: ``run`` / ``sweep`` / ``--list`` happy paths and
+the exit-2 one-line diagnostics on configuration mistakes.
+
+The CLI promises (module docstring of :mod:`repro.experiments.cli`) that
+configuration errors -- malformed JSON, unknown scheme/workload/
+experiment -- exit with status 2 and a single ``error: ...`` line on
+stderr instead of a traceback. Nothing here replays at more than toy
+scale.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+
+#: A scenario spec small enough for a sub-second replay.
+TINY_SCENARIO = {
+    "workload": "zipf",
+    "scale": 0.1,
+    "seed": 0,
+    "workload_params": {
+        "apps": 1,
+        "num_keys": 500,
+        "requests_per_app": 3_000,
+    },
+}
+
+TINY_SWEEP = {
+    "base": TINY_SCENARIO,
+    "axes": {"scheme": ["default", "hill"]},
+}
+
+
+def one_error_line(capsys):
+    captured = capsys.readouterr()
+    lines = [line for line in captured.err.splitlines() if line]
+    assert len(lines) == 1, captured.err
+    assert lines[0].startswith("error: ")
+    return lines[0]
+
+
+# ---------------------------------------------------------------------------
+# Happy paths
+# ---------------------------------------------------------------------------
+
+
+def test_list_enumerates_experiments_schemes_and_workloads(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for heading in ("experiments:", "schemes:", "workloads:"):
+        assert heading in out
+    for entry in ("cluster_rebalance", "cliffhanger", "flash-crowd"):
+        assert entry in out
+
+
+def test_list_subcommand_matches_flag(capsys):
+    assert main(["list"]) == 0
+    assert "experiments:" in capsys.readouterr().out
+
+
+def test_run_inline_scenario_spec(capsys):
+    assert main(["run", json.dumps(TINY_SCENARIO)]) == 0
+    out = capsys.readouterr().out
+    assert "overall hit rate" in out
+
+
+def test_run_spec_file_with_out_dir(tmp_path, capsys):
+    spec_path = tmp_path / "scenario.json"
+    spec_path.write_text(json.dumps(TINY_SCENARIO), encoding="utf-8")
+    out_dir = tmp_path / "results"
+    assert main(["run", str(spec_path), "--out", str(out_dir)]) == 0
+    saved = json.loads((out_dir / "scenario.json").read_text())
+    assert saved["scenario"]["workload"] == "zipf"
+    assert 0.0 < saved["overall_hit_rate"] < 1.0
+
+
+def test_run_spec_from_stdin(monkeypatch, capsys):
+    monkeypatch.setattr(
+        "sys.stdin", io.StringIO(json.dumps(TINY_SCENARIO))
+    )
+    assert main(["run", "-"]) == 0
+    assert "overall hit rate" in capsys.readouterr().out
+
+
+def test_run_rebalance_scenario_reports_transfers(capsys):
+    spec = dict(TINY_SCENARIO)
+    spec["scheme"] = "hill"
+    spec["cluster"] = {"shards": 2, "virtual_nodes": 4}
+    spec["rebalance"] = {"epoch_requests": 300, "credit_bytes": 4096.0}
+    assert main(["run", json.dumps(spec)]) == 0
+    out = capsys.readouterr().out
+    assert "rebalance (shadow)" in out
+    assert "shard budgets now" in out
+
+
+def test_sweep_inline_spec(capsys):
+    assert main(["sweep", json.dumps(TINY_SWEEP)]) == 0
+    out = capsys.readouterr().out
+    assert "2 scenarios" in out
+    assert "scheme=default" in out
+    assert "scheme=hill" in out
+
+
+def test_sweep_with_out_dir(tmp_path, capsys):
+    out_dir = tmp_path / "results"
+    assert (
+        main(["sweep", json.dumps(TINY_SWEEP), "--out", str(out_dir)]) == 0
+    )
+    saved = json.loads((out_dir / "sweep.json").read_text())
+    assert len(saved["results"]) == 2
+
+
+# ---------------------------------------------------------------------------
+# Exit-2 diagnostics
+# ---------------------------------------------------------------------------
+
+
+def test_bad_json_spec_exits_2_with_one_line(capsys):
+    assert main(["run", "{not json"]) == 2
+    assert "invalid JSON spec" in one_error_line(capsys)
+
+
+def test_unknown_scheme_exits_2(capsys):
+    spec = dict(TINY_SCENARIO)
+    spec["scheme"] = "does-not-exist"
+    assert main(["run", json.dumps(spec)]) == 2
+    assert "does-not-exist" in one_error_line(capsys)
+
+
+def test_unknown_workload_exits_2(capsys):
+    spec = dict(TINY_SCENARIO)
+    spec["workload"] = "mystery-trace"
+    assert main(["run", json.dumps(spec)]) == 2
+    assert "mystery-trace" in one_error_line(capsys)
+
+
+def test_unknown_experiment_id_exits_2(capsys):
+    assert main(["run", "fig99"]) == 2
+    assert "fig99" in one_error_line(capsys)
+
+
+def test_unknown_scenario_field_exits_2(capsys):
+    spec = dict(TINY_SCENARIO)
+    spec["rebalancing"] = {"epoch_requests": 5}  # typo'd field
+    assert main(["run", json.dumps(spec)]) == 2
+    assert "rebalancing" in one_error_line(capsys)
+
+
+def test_rebalance_without_cluster_exits_2(capsys):
+    spec = dict(TINY_SCENARIO)
+    spec["rebalance"] = {"epoch_requests": 100}
+    assert main(["run", json.dumps(spec)]) == 2
+    assert "cluster" in one_error_line(capsys)
+
+
+def test_bad_sweep_spec_exits_2(capsys):
+    sweep = dict(TINY_SWEEP)
+    sweep["axis"] = sweep.pop("axes")  # typo'd field
+    assert main(["sweep", json.dumps(sweep)]) == 2
+    assert "axis" in one_error_line(capsys)

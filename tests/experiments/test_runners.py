@@ -5,6 +5,8 @@ produce the declared table shape, and (where cheap to check) satisfy the
 paper's qualitative claims.
 """
 
+import functools
+
 import pytest
 
 from repro.experiments.common import ExperimentResult
@@ -13,19 +15,32 @@ from repro.experiments.registry import REGISTRY, get_runner, list_experiments
 TINY = 0.012
 
 
+@functools.lru_cache(maxsize=None)
+def tiny_sensitivity():
+    """The slowest runner (a 14-replay sweep): run it once per session,
+    shared by the smoke test and the qualitative-claim test."""
+    return get_runner("sensitivity")(scale=TINY, seed=0)
+
+
 @pytest.mark.parametrize("experiment_id", list_experiments())
 def test_runner_smoke(experiment_id):
+    """Every registered runner executes at tiny scale and returns a
+    well-formed :class:`ExperimentResult` -- no exceptions, no skips."""
     runner = get_runner(experiment_id)
     kwargs = {"scale": TINY} if experiment_id not in ("tab6", "tab7") else {
         "scale": 0.15
     }
-    if experiment_id == "sensitivity":
-        pytest.skip("covered by the dedicated benchmark (slow sweep)")
     if experiment_id == "fig7":
         kwargs["apps"] = [3, 19]
-    result = runner(seed=0, **kwargs)
+    result = (
+        tiny_sensitivity()
+        if experiment_id == "sensitivity"
+        else runner(seed=0, **kwargs)
+    )
     assert isinstance(result, ExperimentResult)
+    assert result.experiment_id == experiment_id
     assert result.rows, experiment_id
+    assert result.headers, experiment_id
     for row in result.rows:
         assert len(row) == len(result.headers), experiment_id
     rendered = result.render()
@@ -36,7 +51,7 @@ def test_registry_covers_every_paper_artifact():
     expected = {
         "fig1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
         "tab1", "tab2", "tab3", "tab4", "tab5", "tab6", "tab7",
-        "sensitivity", "cluster_scaling",
+        "sensitivity", "cluster_scaling", "cluster_rebalance",
     }
     assert set(REGISTRY) == expected
 
@@ -62,6 +77,27 @@ class TestQualitativeClaims:
         default, cliff_only, hill_only, combined = total[2:6]
         assert cliff_only > default
         assert combined > default
+
+    def test_sensitivity_large_credits_degrade(self):
+        # Section 5.3: very large credits oscillate; tiny-scale run of
+        # the real sweep (this used to be a permanent skip).
+        result = tiny_sensitivity()
+        by_credit = {}
+        for credit, shadow, resize, hit_rate in result.rows:
+            if resize:
+                by_credit.setdefault(credit, []).append(hit_rate)
+        small = max(max(rates) for c, rates in by_credit.items() if c <= 4096)
+        huge = max(by_credit[max(by_credit)])
+        assert huge < small
+
+    def test_cluster_rebalance_beats_static_split(self):
+        result = get_runner("cluster_rebalance")(scale=TINY, seed=0)
+        rows = {row[0]: row for row in result.rows}
+        static_hit = rows["static"][2]
+        for policy in ("shadow", "load"):
+            assert rows[policy][2] > static_hit, policy
+            assert rows[policy][4] > 0  # transfers actually happened
+            assert rows[policy][5] > 1.0  # hot shard above its even share
 
     def test_fig6_cliffhanger_not_worse_on_average(self):
         result = get_runner("fig6")(scale=0.02, seed=0)
