@@ -1,0 +1,292 @@
+"""Cluster-replay benchmark: emits the ``BENCH_cluster.json`` artifact.
+
+Measures the shard-partitioned cluster replay against the legacy
+per-request routing loop (``cluster.partitioned_replay: false``, kept as
+the bit-exactness oracle) on a 4-shard cluster:
+
+* **static** -- steady-state hot-cache serving: a skewed-Zipf tenant
+  pair (working set resident after a warm-up pass) replayed as GETs
+  under replication 2, the standard "replicate the hot partition"
+  deployment. This is where the per-request routing tax is the largest
+  share of the request, and where the partitioned path must be >= 2x
+  the legacy loop.
+* **rebalance** -- the mixed GET/SET trace with an epoch-driven load
+  rebalancer attached, measuring the partitioned epoch-window path.
+
+Both modes replay identical request sequences, so the benchmark also
+asserts their aggregate counters match bit for bit. Partitioned rounds
+receive a prebuilt routing plan (what a sweep's plan cache delivers);
+the one-time plan build cost is recorded separately in the artifact.
+
+Like ``test_replay_core``, throughput is normalized by a pure-Python
+calibration loop so the checked-in baseline
+(``benchmarks/BENCH_cluster_baseline.json``) can gate regressions across
+machines: with ``BENCH_ENFORCE=1`` a normalized drop of more than 20%
+fails, as does a static speedup below 2x. Without ``BENCH_ENFORCE`` (for
+example on a busy 1-CPU container) the numbers are recorded and warned
+about only -- the ``test_sweep.py`` gating pattern.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    ClusterConfig,
+    RebalanceConfig,
+    Rebalancer,
+    build_routing_plan,
+)
+from repro.experiments.common import GEOMETRY, make_engine
+from repro.sim import load_workload
+
+ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_cluster_baseline.json"
+
+SHARDS = 4
+REPLICATION = 2
+ROUNDS = 3
+
+#: Skewed hot-set tenants: enough distinct keys that the legacy loop's
+#: lazy per-key ring hashing is a real cost, budgets covering the
+#: working set so the timed pass serves from memory.
+WORKLOAD_PARAMS = {
+    "apps": 2,
+    "num_keys": 80_000,
+    "alpha": 1.1,
+    "requests_per_app": 100_000,
+    "budget_fraction": 1.0,
+}
+
+#: Module-level accumulator; ``test_write_artifact`` serializes it.
+RESULTS: dict = {}
+
+
+def _calibration_ops_per_sec(iterations: int = 200_000) -> float:
+    """Machine-speed unit (same fixed loop as ``test_replay_core``)."""
+    best = 0.0
+    for _ in range(3):
+        table: dict = {}
+        started = time.perf_counter()
+        for i in range(iterations):
+            key = i & 1023
+            table[key] = table.get(key, 0) + 1
+        elapsed = time.perf_counter() - started
+        best = max(best, iterations / elapsed)
+    return best
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return load_workload("zipf", scale=1.0, seed=0, **WORKLOAD_PARAMS)
+
+
+def build_cluster(workload, partitioned: bool) -> Cluster:
+    cluster = Cluster(
+        ClusterConfig(
+            shards=SHARDS,
+            replication=REPLICATION,
+            partitioned_replay=partitioned,
+        ),
+        GEOMETRY,
+    )
+    for app in workload.app_names:
+        cluster.add_app(
+            app,
+            workload.reservations[app],
+            lambda shard, share, app=app: make_engine(
+                "default", app, share, scale=workload.scale, seed=shard
+            ),
+        )
+    return cluster
+
+
+def _totals(stats):
+    total = stats.total
+    return (
+        total.get_hits,
+        total.get_misses,
+        total.sets,
+        total.shadow_hits,
+        total.evictions,
+    )
+
+
+def test_static_replay_partitioned_vs_legacy(workload):
+    compiled = workload.compiled
+    gets = compiled.with_op("get")
+    requests = len(gets)
+    measured = {}
+    finals = {}
+    plan_seconds = 0.0
+    for partitioned in (False, True):
+        cluster = build_cluster(workload, partitioned)
+        mixed_plan = get_plan = None
+        if partitioned:
+            mixed_plan = build_routing_plan(
+                compiled, cluster.ring, cluster.replication
+            )
+            # Time only the plan the timed rounds replay with, so the
+            # artifact reports the true once-per-(trace, ring) cost.
+            started = time.perf_counter()
+            get_plan = build_routing_plan(
+                gets, cluster.ring, cluster.replication
+            )
+            plan_seconds = time.perf_counter() - started
+        # Warm-up: fill the caches with the mixed trace, then stabilize
+        # residency with one GET pass; the timed rounds then measure
+        # steady-state serving.
+        cluster.replay_compiled(compiled, plan=mixed_plan)
+        cluster.replay_compiled(gets, plan=get_plan)
+        best = None
+        for _ in range(ROUNDS):
+            started = time.perf_counter()
+            stats = cluster.replay_compiled(gets, plan=get_plan)
+            elapsed = time.perf_counter() - started
+            if best is None or elapsed < best:
+                best = elapsed
+        measured[partitioned] = requests / best
+        finals[partitioned] = _totals(stats)
+    # Both modes replayed the identical sequence of requests: parity.
+    assert finals[True] == finals[False]
+    speedup = measured[True] / measured[False]
+    RESULTS["static"] = {
+        "shards": SHARDS,
+        "replication": REPLICATION,
+        "requests": requests,
+        "legacy_requests_per_sec": measured[False],
+        "partitioned_requests_per_sec": measured[True],
+        "speedup": speedup,
+        "plan_build_seconds": plan_seconds,
+    }
+    print(
+        f"\n[cluster-static] {SHARDS} shards x{REPLICATION}: legacy "
+        f"{measured[False]:,.0f} req/s, partitioned {measured[True]:,.0f} "
+        f"req/s = {speedup:.2f}x (plan build {plan_seconds * 1e3:.0f} ms, "
+        f"best of {ROUNDS})"
+    )
+    assert speedup > 0
+
+
+def test_rebalance_replay_partitioned_vs_legacy(workload):
+    compiled = workload.compiled
+    requests = len(compiled)
+    epoch_requests = max(50, requests // 32)
+    measured = {}
+    finals = {}
+    for partitioned in (False, True):
+        best = None
+        for _ in range(ROUNDS):
+            cluster = build_cluster(workload, partitioned)
+            cluster.attach_rebalancer(
+                Rebalancer(
+                    cluster,
+                    RebalanceConfig(
+                        epoch_requests=epoch_requests,
+                        credit_bytes=65536.0,
+                        policy="load",
+                    ),
+                    seed=0,
+                )
+            )
+            plan = (
+                build_routing_plan(
+                    compiled, cluster.ring, cluster.replication
+                )
+                if partitioned
+                else None
+            )
+            started = time.perf_counter()
+            stats = cluster.replay_compiled(compiled, plan=plan)
+            elapsed = time.perf_counter() - started
+            if best is None or elapsed < best:
+                best = elapsed
+        measured[partitioned] = requests / best
+        finals[partitioned] = (
+            _totals(stats),
+            cluster.rebalancer.transfers,
+            cluster.rebalancer.budgets(),
+        )
+    assert finals[True] == finals[False]  # bit-identical incl. transfers
+    speedup = measured[True] / measured[False]
+    RESULTS["rebalance"] = {
+        "shards": SHARDS,
+        "replication": REPLICATION,
+        "requests": requests,
+        "epoch_requests": epoch_requests,
+        "legacy_requests_per_sec": measured[False],
+        "partitioned_requests_per_sec": measured[True],
+        "speedup": speedup,
+    }
+    print(
+        f"\n[cluster-rebalance] epochs of {epoch_requests}: legacy "
+        f"{measured[False]:,.0f} req/s, partitioned {measured[True]:,.0f} "
+        f"req/s = {speedup:.2f}x (best of {ROUNDS})"
+    )
+    assert speedup > 0
+
+
+def test_write_artifact():
+    if "static" not in RESULTS:
+        pytest.skip("throughput tests were deselected; nothing to write")
+    calibration = _calibration_ops_per_sec()
+    payload = {
+        "workload": dict(WORKLOAD_PARAMS, workload="zipf", seed=0),
+        "calibration_ops_per_sec": calibration,
+        "replays": {
+            name: dict(
+                entry,
+                normalized_score=(
+                    entry["partitioned_requests_per_sec"] / calibration
+                ),
+            )
+            for name, entry in RESULTS.items()
+        },
+    }
+    ARTIFACT_PATH.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    static_speedup = RESULTS["static"]["speedup"]
+    print(
+        f"\nwrote {ARTIFACT_PATH}; partitioned-vs-legacy speedup: "
+        f"{static_speedup:.2f}x static, "
+        f"{RESULTS.get('rebalance', {}).get('speedup', 0.0):.2f}x rebalance"
+    )
+
+    enforce = bool(os.environ.get("BENCH_ENFORCE"))
+    if static_speedup < 2.0:
+        message = (
+            f"partitioned static replay only {static_speedup:.2f}x the "
+            "legacy per-request loop (floor: 2x)"
+        )
+        if enforce:
+            pytest.fail(message)
+        print(f"WARNING: {message}")
+
+    if not BASELINE_PATH.exists():
+        return
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    regressions = []
+    for name, entry in baseline.get("replays", {}).items():
+        current = payload["replays"].get(name)
+        if current is None:
+            continue
+        floor = entry["normalized_score"] * 0.8
+        if current["normalized_score"] < floor:
+            regressions.append(
+                f"{name}: normalized {current['normalized_score']:.4f} "
+                f"< 80% of baseline {entry['normalized_score']:.4f}"
+            )
+    if regressions:
+        message = (
+            "cluster replay throughput regressed >20%: "
+            + "; ".join(regressions)
+        )
+        if enforce:
+            pytest.fail(message)
+        else:
+            print(f"WARNING: {message}")

@@ -206,6 +206,41 @@ class StatsRegistry:
             for counter in triple:
                 counter.evictions += evicted
 
+    def record_code_bulk(self, app: str, op: int, code: int, count: int) -> None:
+        """:meth:`record_code` applied ``count`` times in one call.
+
+        The partitioned cluster replay tallies identical ``(op, code)``
+        outcomes per run and flushes them here; every counter update is
+        an integer addition, so the batched result is bit-identical to
+        ``count`` sequential calls. The bit decode below deliberately
+        mirrors :meth:`record_code` rather than delegating (that method
+        is the single-server per-request hot path); when outcome bits
+        change, change both -- ``tests/cache/test_stats.py`` pins their
+        equivalence across every flag combination.
+        """
+        slab = (code >> CLASS_SHIFT) & CLASS_MASK
+        key = (app, slab - 1 if slab else None)
+        triple = self._triples.get(key)
+        if triple is None:
+            triple = self._make_triple(key)
+        evicted = (code >> EVICTED_SHIFT) * count
+        if op == OP_GET:
+            if code & OUTCOME_HIT:
+                for counter in triple:
+                    counter.get_hits += count
+            else:
+                for counter in triple:
+                    counter.get_misses += count
+        elif op == OP_SET:
+            for counter in triple:
+                counter.sets += count
+        if code & OUTCOME_SHADOW_HIT:
+            for counter in triple:
+                counter.shadow_hits += count
+        if evicted:
+            for counter in triple:
+                counter.evictions += evicted
+
     def _make_triple(self, key: Tuple[str, Optional[int]]):
         app = key[0]
         app_counter = self.by_app.get(app)

@@ -9,6 +9,12 @@ load, imbalance, hot-shard detection). Scenarios opt in through their
 Shard budgets default to a frozen even split; a scenario's ``rebalance``
 block attaches an epoch-driven :class:`Rebalancer` that moves budget
 credits between shards online (see :mod:`repro.cluster.rebalance`).
+
+Cluster replays are routing-plan driven by default: a vectorized pass
+(:mod:`repro.cluster.routing`) computes every request's shard up front
+and each shard replays its stable sub-trace at single-server speed;
+``cluster.partitioned_replay: false`` keeps the legacy per-request loop
+selectable as the bit-exactness oracle.
 """
 
 from repro.cluster.cluster import (
@@ -20,6 +26,11 @@ from repro.cluster.cluster import (
 )
 from repro.cluster.hashring import HashRing
 from repro.cluster.rebalance import RebalanceConfig, Rebalancer
+from repro.cluster.routing import (
+    RoutingPlan,
+    build_routing_plan,
+    get_routing_plan,
+)
 
 __all__ = [
     "Cluster",
@@ -28,6 +39,9 @@ __all__ = [
     "HashRing",
     "RebalanceConfig",
     "Rebalancer",
+    "RoutingPlan",
     "ShardLoad",
+    "build_routing_plan",
+    "get_routing_plan",
     "render_cluster_report",
 ]

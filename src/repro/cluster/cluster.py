@@ -26,12 +26,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
+import numpy as np
+
 from repro.cache.engines import Engine
 from repro.cache.server import CacheServer
 from repro.cache.slabs import SlabGeometry
 from repro.cache.stats import HitMissCounter, StatsRegistry
 from repro.common.errors import ConfigurationError
 from repro.cluster.hashring import HashRing
+from repro.cluster.rebalance import epoch_windows
+from repro.cluster.routing import RoutingPlan, build_routing_plan
 from repro.workloads.trace import Request
 
 #: Engine factory for one tenant: ``(shard_index, budget_share) -> Engine``.
@@ -46,14 +50,28 @@ class ClusterConfig:
     spec, the config built from it, and the replay's report always show
     the same effective value (and shard-count sweeps with a fixed
     replication stay valid at small shard counts).
+
+    ``partitioned_replay`` (default ``True``) selects the
+    routing-plan-driven replay: the whole trace is routed in one
+    vectorized pass and each shard replays its stable sub-trace with the
+    single-server fast loop (see :mod:`repro.cluster.routing`). Setting
+    it to ``False`` keeps the legacy per-request routing loop -- bit-
+    identical by construction, kept as the oracle the parity/property
+    tests compare against (and as an escape hatch).
     """
 
     shards: int = 1
     hash_seed: int = 0
     replication: int = 1
     virtual_nodes: int = 64
+    partitioned_replay: bool = True
 
     def __post_init__(self) -> None:
+        if not isinstance(self.partitioned_replay, bool):
+            raise ConfigurationError(
+                f"partitioned_replay must be a boolean, got "
+                f"{self.partitioned_replay!r}"
+            )
         if self.shards < 1:
             raise ConfigurationError(
                 f"cluster needs at least one shard, got {self.shards}"
@@ -75,6 +93,7 @@ class ClusterConfig:
             "hash_seed": self.hash_seed,
             "replication": self.replication,
             "virtual_nodes": self.virtual_nodes,
+            "partitioned_replay": self.partitioned_replay,
         }
 
     @classmethod
@@ -86,7 +105,13 @@ class ClusterConfig:
                 f"cluster block must be an object, got "
                 f"{type(payload).__name__}"
             )
-        known = {"shards", "hash_seed", "replication", "virtual_nodes"}
+        known = {
+            "shards",
+            "hash_seed",
+            "replication",
+            "virtual_nodes",
+            "partitioned_replay",
+        }
         unknown = set(payload) - known
         if unknown:
             raise ConfigurationError(
@@ -98,6 +123,7 @@ class ClusterConfig:
                 hash_seed=int(payload.get("hash_seed", 0)),
                 replication=int(payload.get("replication", 1)),
                 virtual_nodes=int(payload.get("virtual_nodes", 64)),
+                partitioned_replay=payload.get("partitioned_replay", True),
             )
         except (TypeError, ValueError) as exc:
             raise ConfigurationError(f"bad cluster block: {exc}") from None
@@ -286,32 +312,207 @@ class Cluster:
         """Route one request to its shard (object API)."""
         return self.servers[self.route(request.key)].process(request)
 
-    def replay_compiled(self, trace) -> StatsRegistry:
+    def replay_compiled(
+        self, trace, plan: Optional[RoutingPlan] = None
+    ) -> StatsRegistry:
         """Replay a compiled trace across the shards.
 
         Per-shard stats land in each shard server's own registry; the
         returned registry is the cluster-wide aggregate. A one-shard
-        cluster delegates to :meth:`CacheServer.replay_compiled`
-        unchanged, which is what the parity tests pin down. With a
-        rebalancer attached the replay switches to the epoch-driven
-        loop in :meth:`_replay_with_epochs`; without one this static
-        path is untouched.
+        cluster without a rebalancer delegates to
+        :meth:`CacheServer.replay_compiled` unchanged, which is what the
+        parity tests pin down.
+
+        By default the replay is *partitioned*: a vectorized
+        :class:`~repro.cluster.routing.RoutingPlan` (built here, or
+        passed in by callers that cache plans across replays) assigns
+        every request its shard up front, and each shard then replays
+        its stable sub-trace through the single-server fast loop.
+        Shards share no state between rebalance barriers, so the result
+        is bit-identical to the legacy per-request routing loop -- which
+        ``config.partitioned_replay == False`` keeps selectable as the
+        oracle. With a rebalancer attached, partitioning happens within
+        each epoch window so :meth:`Rebalancer.on_epoch` barriers land
+        exactly where the per-request loop puts them.
         """
+        partitioned = self.config.partitioned_replay
         if self.rebalancer is not None:
+            if partitioned:
+                return self._replay_epochs_partitioned(trace, plan)
             return self._replay_with_epochs(trace)
         if len(self.servers) == 1:
             self.servers[0].replay_compiled(trace)
             return self.aggregate_stats()
+        self._check_geometry(trace)
+        if partitioned:
+            return self._replay_partitioned(trace, plan)
+        return self._replay_per_request(trace)
+
+    # -- shared replay guards ------------------------------------------
+
+    def _check_geometry(self, trace) -> None:
         if trace.geometry.chunk_sizes != self.geometry.chunk_sizes:
             raise ConfigurationError(
                 "compiled trace was built for a different slab geometry "
                 f"({trace.geometry.chunk_sizes} vs "
                 f"{self.geometry.chunk_sizes}); recompile it"
             )
-        # Routing is a pure function of the key, so memoize it per key
-        # id -- lazily, because app-filtered sub-traces keep the full
-        # key table and eagerly hashing never-replayed keys would waste
-        # the filtering.
+
+    def _resolve_plan(self, trace, plan: Optional[RoutingPlan]) -> RoutingPlan:
+        """Validate a caller-supplied plan, or build one for this replay.
+
+        Building here goes straight through
+        :func:`~repro.cluster.routing.build_routing_plan` -- no cache
+        side effects, so ad-hoc :class:`Cluster` users stay hermetic;
+        the scenario layer passes cached plans in.
+        """
+        if plan is None:
+            return build_routing_plan(trace, self.ring, self.replication)
+        if len(plan) != len(trace) or not plan.matches_ring(
+            self.ring, self.replication
+        ):
+            raise ConfigurationError(
+                f"routing plan mismatch: plan covers {len(plan)} requests "
+                f"on {plan.shards} shard(s) (hash_seed {plan.hash_seed}, "
+                f"{plan.virtual_nodes} vnodes, replication "
+                f"{plan.replication}); replay needs {len(trace)} requests "
+                f"on this cluster's ring ({len(self.servers)} shard(s), "
+                f"hash_seed {self.ring.seed}, {self.ring.virtual_nodes} "
+                f"vnodes, replication {self.replication})"
+            )
+        return plan
+
+    def _require_engines(self, trace) -> None:
+        """Raise like the per-request loop would for apps that have
+        requests in ``trace`` but no registered engine (partitioned
+        replays fail fast instead of mid-shard)."""
+        engines = self.servers[0].engines
+        for app_id in np.unique(np.asarray(trace.app_ids, dtype=np.int64)):
+            name = trace.app_table[app_id]
+            if name not in engines:
+                raise ConfigurationError(
+                    f"request for unknown app {name!r}"
+                )
+
+    # -- partitioned fast paths ----------------------------------------
+
+    def _replay_partitioned(
+        self, trace, plan: Optional[RoutingPlan]
+    ) -> StatsRegistry:
+        """The static fast path: one stable partition, then each shard
+        replays per-(shard, app) runs through the flat loop in
+        :meth:`_replay_window` (no replication branch, no per-request
+        ring lookups, no nested engine-list indexing)."""
+        plan = self._resolve_plan(trace, plan)
+        self._require_engines(trace)
+        app_column = np.asarray(trace.app_ids, dtype=np.int64)
+        self._replay_window(trace, plan.shard_ids, app_column, 0, len(trace))
+        return self.aggregate_stats()
+
+    def _replay_epochs_partitioned(
+        self, trace, plan: Optional[RoutingPlan]
+    ) -> StatsRegistry:
+        """The rebalancing fast path: partition within each epoch window,
+        replay every shard's slice of the window with the flat loop,
+        then hand control to the rebalancer exactly where the
+        per-request loop would (after every ``epoch_requests``-th
+        request; a trailing partial window ends without a barrier).
+        Shards exchange no state inside a window, so per-window
+        partitioning preserves bit-identical results."""
+        self._check_geometry(trace)
+        plan = self._resolve_plan(trace, plan)
+        self._require_engines(trace)
+        rebalancer = self.rebalancer
+        epoch_requests = rebalancer.config.epoch_requests
+        app_column = np.asarray(trace.app_ids, dtype=np.int64)
+        for start, stop in epoch_windows(len(trace), epoch_requests):
+            self._replay_window(
+                trace, plan.shard_ids, app_column, start, stop
+            )
+            if stop - start == epoch_requests:
+                rebalancer.on_epoch()
+        return self.aggregate_stats()
+
+    def _replay_window(
+        self,
+        trace,
+        shard_ids: np.ndarray,
+        app_column: np.ndarray,
+        start: int,
+        stop: int,
+    ) -> None:
+        """Replay requests ``[start, stop)`` as per-(shard, app) runs.
+
+        Within one replay window shards are independent servers and, on
+        each shard, per-app engines and per-app stats share no state --
+        so the interleaved request order only matters *within* one
+        (shard, app) run, which the stable partition preserves. Each run
+        then replays with everything hoisted out of the loop: the
+        engine's bound ``process_fast``, flat column slices, and a tally
+        of identical packed outcomes that is flushed through
+        :meth:`StatsRegistry.record_code_bulk` (integer counters, so
+        batching is bit-identical).
+        """
+        num_apps = len(trace.app_table)
+        window = (
+            shard_ids[start:stop].astype(np.int64) * num_apps
+            + app_column[start:stop]
+        )
+        order = np.argsort(window, kind="stable")
+        sorted_runs = window[order]
+        run_bounds = np.flatnonzero(sorted_runs[1:] != sorted_runs[:-1]) + 1
+        run_starts = np.concatenate(([0], run_bounds))
+        run_stops = np.concatenate((run_bounds, [len(sorted_runs)]))
+        keys, op_codes, slab_classes, chunk_bytes, item_bytes = (
+            trace.replay_columns()
+        )
+        for run_start, run_stop in zip(run_starts, run_stops):
+            if run_start == run_stop:
+                continue  # empty window
+            shard, app_id = divmod(int(sorted_runs[run_start]), num_apps)
+            picks = order[run_start:run_stop]
+            if start:
+                picks = picks + start
+            server = self.servers[shard]
+            engine = server.engines[trace.app_table[app_id]]
+            process = engine.process_fast
+            # Tally identical (op, outcome-code) pairs instead of paying
+            # the per-request stats dict walk; ops fit in 2 bits of the
+            # packed key. The columns are C-gathered numpy mirrors
+            # (``tolist`` hands the loop plain Python objects -- keys
+            # stay the interned strings).
+            counts: Dict[int, int] = {}
+            for key, op, class_index, chunk, nbytes in zip(
+                keys[picks].tolist(),
+                op_codes[picks].tolist(),
+                slab_classes[picks].tolist(),
+                chunk_bytes[picks].tolist(),
+                item_bytes[picks].tolist(),
+            ):
+                packed = (
+                    process(key, op, class_index, chunk, nbytes) << 2
+                ) | op
+                try:
+                    counts[packed] += 1
+                except KeyError:
+                    counts[packed] = 1
+            record_bulk = server.stats.record_code_bulk
+            app = engine.app
+            for packed, count in counts.items():
+                record_bulk(app, packed & 3, packed >> 2, count)
+
+    # -- legacy per-request loops (the bit-exactness oracle) ------------
+
+    def _replay_per_request(self, trace) -> StatsRegistry:
+        """The pre-routing-plan static loop, kept selectable via
+        ``cluster.partitioned_replay: false`` as the oracle the parity
+        and property tests compare the partitioned path against.
+
+        Routing is a pure function of the key, so memoize it per key
+        id -- lazily, because app-filtered sub-traces keep the full
+        key table and eagerly hashing never-replayed keys would waste
+        the filtering.
+        """
         replication = self.replication
         if replication > 1:
             replicas_of_key: List[Optional[List[int]]] = [None] * len(
@@ -362,19 +563,14 @@ class Cluster:
         return self.aggregate_stats()
 
     def _replay_with_epochs(self, trace) -> StatsRegistry:
-        """The rebalancing replay: the compiled loop plus an epoch
-        counter that hands control to the rebalancer every
-        ``epoch_requests`` requests. Kept separate from the static loop
-        so attaching no rebalancer costs nothing and stays bit-identical
-        to the pre-rebalance replay. Unlike the static path, a one-shard
-        cluster runs the full loop here too (rebalancing degenerates to
-        timeline recording; there is never a donor shard)."""
-        if trace.geometry.chunk_sizes != self.geometry.chunk_sizes:
-            raise ConfigurationError(
-                "compiled trace was built for a different slab geometry "
-                f"({trace.geometry.chunk_sizes} vs "
-                f"{self.geometry.chunk_sizes}); recompile it"
-            )
+        """The legacy rebalancing replay (the epoch-path oracle,
+        selected by ``cluster.partitioned_replay: false``): the
+        per-request loop plus an epoch counter that hands control to
+        the rebalancer every ``epoch_requests`` requests. Unlike the
+        static path, a one-shard cluster runs the full loop here too
+        (rebalancing degenerates to timeline recording; there is never
+        a donor shard) -- as does the partitioned equivalent."""
+        self._check_geometry(trace)
         rebalancer = self.rebalancer
         epoch_requests = rebalancer.config.epoch_requests
         replication = self.replication
@@ -446,13 +642,23 @@ class Cluster:
                 ).merge(counter)
         return merged
 
-    def report(self, hot_factor: float = 1.5) -> ClusterReport:
-        """Aggregate hit rates plus per-shard load and balance metrics."""
+    def report(
+        self,
+        hot_factor: float = 1.5,
+        stats: Optional[StatsRegistry] = None,
+    ) -> ClusterReport:
+        """Aggregate hit rates plus per-shard load and balance metrics.
+
+        ``stats`` lets callers that already hold the merged registry
+        (:meth:`replay_compiled` returns it) skip a second
+        :meth:`aggregate_stats` pass over every shard's per-(app, class)
+        counters; omitted, the report merges fresh.
+        """
         if hot_factor <= 0:
             raise ConfigurationError(
                 f"hot_factor must be positive, got {hot_factor}"
             )
-        merged = self.aggregate_stats()
+        merged = stats if stats is not None else self.aggregate_stats()
         loads = []
         for shard, server in enumerate(self.servers):
             total = server.stats.total

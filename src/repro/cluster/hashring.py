@@ -16,7 +16,7 @@ shards clockwise of the key, the standard successor-list placement.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import List
+from typing import List, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.common.hashing import stable_hash_u64
@@ -78,14 +78,48 @@ class HashRing:
         count = min(count, self.shards)
         token = stable_hash_u64(key, salt=self.seed)
         start = bisect_right(self._tokens, token) % len(self._tokens)
+        return self._distinct_owners_from(start, count)
+
+    def _distinct_owners_from(self, start: int, count: int) -> List[int]:
+        """The first ``count`` distinct owners walking clockwise from
+        ring position ``start`` -- the one replica-placement walk behind
+        both the per-key oracle (:meth:`shards_for`) and the bulk table
+        (:meth:`successor_table`), so the two can never diverge."""
+        total = len(self._tokens)
         replicas: List[int] = []
-        for step in range(len(self._tokens)):
-            owner = self._owners[(start + step) % len(self._tokens)]
+        for step in range(total):
+            owner = self._owners[(start + step) % total]
             if owner not in replicas:
                 replicas.append(owner)
                 if len(replicas) == count:
                     break
         return replicas
+
+    def token_table(self) -> Tuple[List[int], List[int]]:
+        """The ring's sorted ``(tokens, owners)`` columns.
+
+        The backing columns for bulk routing
+        (:mod:`repro.cluster.routing`): a key whose hash bisects to
+        position ``p`` (``bisect_right`` then wrap to 0) is owned by
+        ``owners[p]``. Treat both lists as read-only.
+        """
+        return self._tokens, self._owners
+
+    def successor_table(self, count: int) -> List[List[int]]:
+        """Per ring position, the first ``count`` distinct owners
+        clockwise -- the replica set of every key bisecting there.
+
+        ``successor_table(c)[p]`` equals :meth:`shards_for` for any key
+        hashing to position ``p``; precomputing it once per ring turns
+        the per-key clockwise walk into a table lookup.
+        """
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        count = min(count, self.shards)
+        return [
+            self._distinct_owners_from(start, count)
+            for start in range(len(self._tokens))
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

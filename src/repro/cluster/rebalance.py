@@ -49,6 +49,24 @@ from repro.core.hill_climbing import HillClimber
 POLICIES = ("shadow", "load")
 
 
+def epoch_windows(total_requests: int, epoch_requests: int):
+    """Yield ``(start, stop)`` request-index windows between barriers.
+
+    The partitioned epoch replay partitions each window independently
+    and calls :meth:`Rebalancer.on_epoch` after every *full* window --
+    exactly where the per-request loop's countdown fires: after request
+    ``epoch_requests``, ``2 * epoch_requests``, ...; a trailing partial
+    window replays without a barrier. ``epoch_requests <= 0`` (no
+    rebalancing) degenerates to one window covering the whole trace.
+    """
+    if epoch_requests <= 0:
+        if total_requests > 0:
+            yield 0, total_requests
+        return
+    for start in range(0, total_requests, epoch_requests):
+        yield start, min(start + epoch_requests, total_requests)
+
+
 @dataclass(frozen=True)
 class RebalanceConfig:
     """The serializable shape of a scenario's ``rebalance`` block.

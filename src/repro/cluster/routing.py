@@ -1,0 +1,262 @@
+"""Vectorized routing plans: per-request shard ids computed in bulk.
+
+The per-request cluster loop pays routing taxes Cliffhanger's
+no-coordination design (paper section 4.3) does not require: shards are
+fully independent between rebalance epochs, so *where* each request goes
+is a pure function of the trace and the ring -- it can be computed once,
+in bulk, and reused across every replay of the same (trace, ring) pair.
+
+A :class:`RoutingPlan` is one ``shard_ids`` column for a whole compiled
+trace:
+
+* the primary shard per key comes from a bulk splitmix64 pass over the
+  trace's ``key_table`` (numpy; bit-identical to
+  :func:`repro.common.hashing.stable_hash_u64`), followed by one
+  ``searchsorted`` against the ring's token column;
+* for replication R > 1, the per-request replica is resolved ahead of
+  time from the key's occurrence index (the round-robin "turn" the lazy
+  per-key counters would have reached), so the precomputed choice is
+  identical to the legacy loop's.
+
+Plans are cached through :class:`~repro.workloads.compiled.TraceCache`
+(:func:`get_routing_plan`), keyed by the trace's routing digest plus
+every ring parameter, so sweeps over schemes/budgets re-route nothing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError, TraceFormatError
+from repro.common.hashing import _splitmix64, stable_hash_u64
+
+#: Bump when the on-disk plan layout (or the routing math) changes;
+#: stale files are rebuilt.
+PLAN_FORMAT_VERSION = 1
+
+_FNV_OFFSET = np.uint64(0xCBF29CE484222325)
+_FNV_PRIME = np.uint64(0x100000001B3)
+
+
+def _splitmix64_array(x: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer over a uint64 array (wrapping mod 2^64)."""
+    x = x + np.uint64(0x9E3779B97F4A7C15)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))
+
+
+def hash_keys_u64(keys: List[str], salt: int = 0) -> np.ndarray:
+    """:func:`stable_hash_u64` over a column of string keys, vectorized.
+
+    FNV-1a consumes one byte position per pass over the whole column
+    (keys in one trace are short and near-uniform in length, so this is
+    ~len(longest key) numpy passes), then one vectorized splitmix64
+    finalizer. Bit-identical to the scalar helper by construction; the
+    unit tests pin that down.
+    """
+    count = len(keys)
+    if count == 0:
+        return np.zeros(0, dtype=np.uint64)
+    encoded = [key.encode("utf-8") for key in keys]
+    lengths = np.fromiter(
+        (len(blob) for blob in encoded), dtype=np.int64, count=count
+    )
+    flat = np.frombuffer(b"".join(encoded), dtype=np.uint8).astype(np.uint64)
+    offsets = np.zeros(count, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=offsets[1:])
+    seeds = np.full(count, _FNV_OFFSET, dtype=np.uint64)
+    for position in range(int(lengths.max())):
+        live = lengths > position
+        seeds[live] = (
+            seeds[live] ^ flat[offsets[live] + position]
+        ) * _FNV_PRIME
+    salt_mix = np.uint64(_splitmix64(salt & ((1 << 64) - 1)))
+    return _splitmix64_array(seeds ^ salt_mix)
+
+
+def occurrence_index(key_ids: np.ndarray) -> np.ndarray:
+    """Per position, how many earlier positions hold the same key id.
+
+    This is exactly the round-robin "turn" the legacy replay loop's lazy
+    per-key counters would have reached at each request. Computed with a
+    stable sort: within each key's group the original order survives, so
+    ``arange - group_start`` is the occurrence count.
+    """
+    total = len(key_ids)
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    order = np.argsort(key_ids, kind="stable")
+    sorted_ids = key_ids[order]
+    arange = np.arange(total, dtype=np.int64)
+    is_start = np.ones(total, dtype=bool)
+    is_start[1:] = sorted_ids[1:] != sorted_ids[:-1]
+    group_start = np.maximum.accumulate(np.where(is_start, arange, 0))
+    turns = np.empty(total, dtype=np.int64)
+    turns[order] = arange - group_start
+    return turns
+
+
+class RoutingPlan:
+    """One precomputed ``shard_ids`` column for a (trace, ring) pair.
+
+    ``shard_ids[i]`` is the shard that request ``i`` of the trace lands
+    on -- replication round-robin already resolved. The replay
+    (:meth:`repro.cluster.Cluster.replay_compiled`) stable-partitions
+    this column into per-(shard, app) runs, keeping each run's positions
+    in original trace order, which is what makes per-run replay
+    bit-identical to the interleaved loop: shards share no state between
+    rebalance barriers, and tenants on one shard share none either.
+    """
+
+    __slots__ = ("shards", "hash_seed", "virtual_nodes", "replication", "shard_ids")
+
+    def __init__(
+        self,
+        shards: int,
+        hash_seed: int,
+        virtual_nodes: int,
+        replication: int,
+        shard_ids: np.ndarray,
+    ) -> None:
+        self.shards = int(shards)
+        self.hash_seed = int(hash_seed)
+        self.virtual_nodes = int(virtual_nodes)
+        self.replication = int(replication)
+        self.shard_ids = np.ascontiguousarray(shard_ids, dtype=np.int32)
+
+    def __len__(self) -> int:
+        return len(self.shard_ids)
+
+    def matches_ring(self, ring, replication: int) -> bool:
+        """Whether this plan was built for ``ring`` at ``replication``.
+
+        Same-shape plans from differently-parameterized rings route
+        every key differently, so the replay validates the full ring
+        identity, not just the shard count.
+        """
+        return (
+            self.shards == ring.shards
+            and self.hash_seed == ring.seed
+            and self.virtual_nodes == ring.virtual_nodes
+            and self.replication == min(max(replication, 1), ring.shards)
+        )
+
+    # ------------------------------------------------------------------
+    # Disk format (the plan half of the two-level trace cache)
+    # ------------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Serialize to ``.npz``, atomically (tmp file + rename)."""
+        from repro.workloads.compiled import save_npz_atomic
+
+        return save_npz_atomic(
+            path,
+            {
+                "version": np.array([PLAN_FORMAT_VERSION]),
+                "shards": np.array([self.shards]),
+                "hash_seed": np.array([self.hash_seed]),
+                "virtual_nodes": np.array([self.virtual_nodes]),
+                "replication": np.array([self.replication]),
+                "shard_ids": self.shard_ids,
+            },
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RoutingPlan":
+        with np.load(path, allow_pickle=False) as data:
+            if int(data["version"][0]) != PLAN_FORMAT_VERSION:
+                raise TraceFormatError(
+                    f"{path}: unsupported routing-plan version"
+                )
+            return cls(
+                int(data["shards"][0]),
+                int(data["hash_seed"][0]),
+                int(data["virtual_nodes"][0]),
+                int(data["replication"][0]),
+                data["shard_ids"],
+            )
+
+
+def build_routing_plan(trace, ring, replication: int = 1) -> RoutingPlan:
+    """Route every request of a compiled trace through ``ring`` at once.
+
+    Bit-identical to routing the trace through
+    :meth:`~repro.cluster.hashring.HashRing.shard_for` /
+    ``shards_for`` with lazy per-key round-robin counters starting at 0
+    (what one ``Cluster.replay_compiled`` call does): the replica turn is
+    the key's occurrence index in this trace.
+    """
+    if replication < 1:
+        raise ConfigurationError(
+            f"replication must be >= 1, got {replication}"
+        )
+    replication = min(replication, ring.shards)
+    key_table = trace.key_table
+    if all(isinstance(key, str) for key in key_table):
+        hashes = hash_keys_u64(key_table, salt=ring.seed)
+    else:  # hand-built traces with exotic keys: scalar fallback
+        hashes = np.fromiter(
+            (stable_hash_u64(key, salt=ring.seed) for key in key_table),
+            dtype=np.uint64,
+            count=len(key_table),
+        )
+    tokens, owners = ring.token_table()
+    token_column = np.asarray(tokens, dtype=np.uint64)
+    # bisect_right then wrap-to-0 at the end of the ring == mod.
+    positions = np.searchsorted(token_column, hashes, side="right") % len(
+        token_column
+    )
+    key_ids = np.asarray(trace.key_ids, dtype=np.int64)
+    if replication == 1:
+        primary = np.asarray(owners, dtype=np.int32)[positions]
+        shard_ids = primary[key_ids]
+    else:
+        successors = np.asarray(
+            ring.successor_table(replication), dtype=np.int32
+        )
+        turns = occurrence_index(key_ids)
+        shard_ids = successors[
+            positions[key_ids], turns % np.int64(replication)
+        ]
+    return RoutingPlan(
+        ring.shards, ring.seed, ring.virtual_nodes, replication, shard_ids
+    )
+
+
+def plan_cache_key(trace, ring, replication: int) -> str:
+    """Cache key encoding everything the plan depends on: the routed key
+    sequence (trace digest) and every ring/replication parameter."""
+    return (
+        f"routing-{trace.routing_digest()}-s{ring.shards}-h{ring.seed}"
+        f"-v{ring.virtual_nodes}-r{replication}-p{PLAN_FORMAT_VERSION}"
+    )
+
+
+def get_routing_plan(trace, ring, replication: int = 1, cache=None):
+    """Fetch (or build and cache) the plan for ``(trace, ring)``.
+
+    ``cache`` defaults to the process-wide
+    :data:`~repro.workloads.compiled.GLOBAL_TRACE_CACHE`, so scenario
+    sweeps -- including worker processes sharing the on-disk store --
+    route each (trace, ring) pair exactly once. With
+    ``REPRO_TRACE_CACHE=off`` the plan still caches in process memory,
+    just not on disk.
+    """
+    if cache is None:
+        from repro.workloads.compiled import GLOBAL_TRACE_CACHE as cache
+    key = plan_cache_key(trace, ring, replication)
+    plan = cache.get_or_build_plan(
+        key, lambda: build_routing_plan(trace, ring, replication)
+    )
+    if len(plan) != len(trace) or not plan.matches_ring(ring, replication):
+        # A digest collision would be astronomically unlikely; a stale
+        # or corrupt disk entry is not. Rebuild rather than misroute --
+        # and overwrite the poisoned entry so the next fetch is a hit
+        # again instead of re-detecting the mismatch forever.
+        plan = build_routing_plan(trace, ring, replication)
+        cache.store_plan(key, plan)
+    return plan

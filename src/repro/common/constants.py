@@ -91,3 +91,10 @@ DEFAULT_REBALANCE_CREDIT_BYTES = 16 * DEFAULT_CREDIT_BYTES
 #: is never shrunk, so a cooled-down shard can still observe returning
 #: demand -- the shard-level analogue of :data:`MIN_QUEUE_BYTES`.
 DEFAULT_MIN_SHARD_FRACTION = 0.1
+
+#: In-process LRU entries for cached routing plans
+#: (:meth:`repro.workloads.compiled.TraceCache.get_or_build_plan`). Plans
+#: are one int32 column per (trace, ring) pair -- far smaller than
+#: compiled traces -- so the plan LRU can afford more entries than the
+#: trace LRU: a shard-count sweep alone holds one plan per shard count.
+DEFAULT_PLAN_CACHE_ENTRIES = 8

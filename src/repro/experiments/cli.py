@@ -50,6 +50,24 @@ def _print_listing() -> None:
     print("workloads:")
     for workload in list_workloads():
         print(f"  {workload}")
+    print("scenario blocks:")
+    print(
+        "  cluster: shards, hash_seed, replication, virtual_nodes, "
+        "partitioned_replay"
+    )
+    print(
+        "    (partitioned_replay: false selects the legacy per-request "
+        "routing loop,"
+    )
+    print(
+        "     kept as the bit-exactness oracle; default true replays "
+        "per-shard runs"
+    )
+    print("     from a cached vectorized routing plan)")
+    print(
+        "  rebalance: epoch_requests, credit_bytes, min_shard_fraction, "
+        "policy (shadow|load)"
+    )
 
 
 def _load_spec(target: str) -> dict:

@@ -144,8 +144,14 @@ def replay_on_cluster(
     :class:`~repro.cluster.rebalance.Rebalancer` (seeded from the
     scenario seed) before the replay; otherwise the static even split
     runs untouched.
+
+    Partitioned replays fetch their
+    :class:`~repro.cluster.routing.RoutingPlan` through the global
+    two-level trace cache, so a sweep over schemes/budgets/rebalance
+    settings routes each (trace, ring) pair once -- including across
+    worker processes sharing the on-disk store.
     """
-    from repro.cluster import RebalanceConfig, Rebalancer
+    from repro.cluster import RebalanceConfig, Rebalancer, get_routing_plan
 
     chosen = _chosen_apps(scenario, trace)
     cluster = build_cluster(scenario, trace)
@@ -164,7 +170,14 @@ def replay_on_cluster(
     if set(chosen) != set(trace.app_names):
         compiled = compiled.select_apps(chosen)
     started = time.perf_counter()
-    stats = cluster.replay_compiled(compiled)
+    plan = None
+    if cluster.config.partitioned_replay and (
+        cluster.shards > 1 or cluster.rebalancer is not None
+    ):
+        plan = get_routing_plan(
+            compiled, cluster.ring, cluster.replication
+        )
+    stats = cluster.replay_compiled(compiled, plan=plan)
     elapsed = time.perf_counter() - started
     return cluster, stats, elapsed
 
@@ -264,8 +277,12 @@ def run_scenario(
         elapsed_seconds=elapsed,
         requests_per_sec=requests / elapsed if elapsed > 0 else 0.0,
         budgets={app: _resolve_budget(scenario, trace, app) for app in apps},
+        # Pass the merged registry replay_compiled already built;
+        # report() would otherwise re-merge every shard's counters.
         cluster_report=(
-            cluster.report().to_dict() if cluster is not None else None
+            cluster.report(stats=stats).to_dict()
+            if cluster is not None
+            else None
         ),
     )
     if baseline is not None:

@@ -60,9 +60,14 @@ class Scenario:
             (e.g. ``{"credit_bytes": 4096.0}``).
         cluster: Optional multi-server block
             (``{"shards": N, "hash_seed": S, "replication": R,
-            "virtual_nodes": V}``); when present the replay routes keys
-            across N shard servers by consistent hashing (see
-            :mod:`repro.cluster`). Budgets are split evenly per shard.
+            "virtual_nodes": V, "partitioned_replay": true}``); when
+            present the replay routes keys across N shard servers by
+            consistent hashing (see :mod:`repro.cluster`). Budgets are
+            split evenly per shard. ``partitioned_replay`` (default
+            ``true``) replays per-shard runs from a cached vectorized
+            routing plan at single-server speed; ``false`` keeps the
+            legacy per-request routing loop, the bit-exactness oracle
+            the parity/property tests compare against.
         rebalance: Optional online-rebalancing block
             (``{"epoch_requests": N, "credit_bytes": B,
             "min_shard_fraction": F, "policy": "shadow"|"load"}``);

@@ -25,6 +25,7 @@ scratch.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import tempfile
 import zlib
@@ -36,12 +37,37 @@ import numpy as np
 
 from repro.cache.slabs import SlabGeometry
 from repro.cache.stats import OP_CODES, OP_NAMES
-from repro.common.constants import ITEM_OVERHEAD_BYTES
+from repro.common.constants import (
+    DEFAULT_PLAN_CACHE_ENTRIES,
+    ITEM_OVERHEAD_BYTES,
+)
 from repro.common.errors import TraceFormatError
 from repro.workloads.trace import OPS, Request
 
 #: Bump when the on-disk layout changes; stale files are recompiled.
 _DISK_FORMAT_VERSION = 1
+
+
+def save_npz_atomic(path: Union[str, Path], payload: Dict[str, np.ndarray]) -> Path:
+    """Write an ``.npz`` atomically (tmp file + rename), creating parents.
+
+    Shared by compiled traces and routing plans so concurrent sweep
+    workers never observe a half-written cache file.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".npz.tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, **payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 class CompiledTrace:
@@ -67,6 +93,8 @@ class CompiledTrace:
         "slab_classes",
         "chunk_bytes",
         "item_bytes",
+        "_routing_digest",
+        "_replay_columns",
     )
 
     def __init__(
@@ -99,6 +127,8 @@ class CompiledTrace:
         self.item_bytes = [
             key_sizes[i] + value_sizes[i] for i in range(len(key_ids))
         ]
+        self._routing_digest: Optional[str] = None
+        self._replay_columns = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -177,6 +207,57 @@ class CompiledTrace:
     def app_names(self) -> List[str]:
         return list(self.app_table)
 
+    def replay_columns(self):
+        """Numpy mirrors of the five replay-hot columns, built lazily.
+
+        ``(keys, op_codes, slab_classes, chunk_bytes, item_bytes)`` --
+        keys as an object array (holding the same interned string
+        references), the rest as integer arrays. The partitioned cluster
+        replay gathers per-(shard, app) runs out of these with C-speed
+        fancy indexing instead of Python-level list comprehensions;
+        built once per trace instance and reused by every replay.
+        """
+        if self._replay_columns is None:
+            self._replay_columns = (
+                np.asarray(self.keys, dtype=object),
+                np.asarray(self.op_codes, dtype=np.int8),
+                np.asarray(self.slab_classes, dtype=np.int16),
+                np.asarray(self.chunk_bytes, dtype=np.int64),
+                np.asarray(self.item_bytes, dtype=np.int64),
+            )
+        return self._replay_columns
+
+    def routing_digest(self) -> str:
+        """128-bit digest of the routed key sequence.
+
+        Covers exactly what cluster routing depends on -- the key string
+        at every request position (key table + key-id column) -- and
+        nothing else, so the same stream replayed under different
+        budgets/schemes shares one cached
+        :class:`~repro.cluster.routing.RoutingPlan`. Computed once per
+        trace instance.
+        """
+        if self._routing_digest is None:
+            digest = hashlib.sha256()
+            digest.update(len(self.key_table).to_bytes(8, "little"))
+            encoded = [key.encode("utf-8") for key in self.key_table]
+            # Length-prefix the table so key boundaries are unambiguous
+            # (a plain join could collide on keys containing the
+            # separator).
+            digest.update(
+                np.fromiter(
+                    (len(blob) for blob in encoded),
+                    dtype=np.int64,
+                    count=len(encoded),
+                ).tobytes()
+            )
+            digest.update(b"".join(encoded))
+            digest.update(
+                np.asarray(self.key_ids, dtype=np.int64).tobytes()
+            )
+            self._routing_digest = digest.hexdigest()[:32]
+        return self._routing_digest
+
     def iter_requests(self) -> Iterator[Request]:
         """Re-expand into :class:`Request` objects (compat adapter)."""
         op_names = OP_NAMES
@@ -228,19 +309,32 @@ class CompiledTrace:
         return clone
 
     def _subset(self, indices) -> "CompiledTrace":
+        """Sub-trace at ``indices`` (ascending), bypassing ``__init__``.
+
+        The derived hot columns (``keys``, ``chunk_bytes``,
+        ``item_bytes``) are picked directly instead of being recomputed,
+        and the app/key tables are *shared* with the parent (they are
+        treated as immutable everywhere), keeping ``select_apps`` /
+        ``slice`` subsetting cheap.
+        """
         pick = indices
-        return CompiledTrace(
-            self.geometry,
-            [self.times[i] for i in pick],
-            [self.app_ids[i] for i in pick],
-            list(self.app_table),
-            [self.key_ids[i] for i in pick],
-            list(self.key_table),
-            [self.op_codes[i] for i in pick],
-            [self.value_sizes[i] for i in pick],
-            [self.key_sizes[i] for i in pick],
-            [self.slab_classes[i] for i in pick],
-        )
+        clone = CompiledTrace.__new__(CompiledTrace)
+        clone.geometry = self.geometry
+        clone.times = [self.times[i] for i in pick]
+        clone.app_ids = [self.app_ids[i] for i in pick]
+        clone.app_table = self.app_table
+        clone.key_ids = [self.key_ids[i] for i in pick]
+        clone.key_table = self.key_table
+        clone.op_codes = [self.op_codes[i] for i in pick]
+        clone.value_sizes = [self.value_sizes[i] for i in pick]
+        clone.key_sizes = [self.key_sizes[i] for i in pick]
+        clone.slab_classes = [self.slab_classes[i] for i in pick]
+        clone.keys = [self.keys[i] for i in pick]
+        clone.chunk_bytes = [self.chunk_bytes[i] for i in pick]
+        clone.item_bytes = [self.item_bytes[i] for i in pick]
+        clone._routing_digest = None
+        clone._replay_columns = None
+        return clone
 
     # ------------------------------------------------------------------
     # Disk format
@@ -248,8 +342,6 @@ class CompiledTrace:
 
     def save(self, path: Union[str, Path]) -> Path:
         """Serialize to ``.npz``. Written atomically (tmp file + rename)."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "version": np.array([_DISK_FORMAT_VERSION]),
             "chunk_sizes": np.array(self.geometry.chunk_sizes, dtype=np.int64),
@@ -263,20 +355,7 @@ class CompiledTrace:
             "key_sizes": np.array(self.key_sizes, dtype=np.int64),
             "slab_classes": np.array(self.slab_classes, dtype=np.int16),
         }
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(path.parent), suffix=".npz.tmp"
-        )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                np.savez(handle, **payload)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-        return path
+        return save_npz_atomic(path, payload)
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "CompiledTrace":
@@ -323,24 +402,34 @@ class TraceCache:
     handful covers one experiment run). Level 2 is a directory of ``.npz``
     files shared between processes and runs; set ``REPRO_TRACE_CACHE=off``
     to disable it (e.g. for hermetic tests).
+
+    The same two levels also store
+    :class:`~repro.cluster.routing.RoutingPlan` columns
+    (:meth:`get_or_build_plan`): plans are derived per (trace, ring)
+    pair, far smaller than traces, and reused by every scenario of a
+    sweep that shares the pair. With the on-disk level off, plans still
+    cache in process memory.
     """
 
     def __init__(
         self,
         directory: Union[str, Path, None] = None,
         memory_entries: int = 4,
+        plan_entries: int = DEFAULT_PLAN_CACHE_ENTRIES,
     ) -> None:
         self.directory = Path(directory) if directory else _default_cache_dir()
         self.memory_entries = memory_entries
+        self.plan_entries = plan_entries
         self._memory: "OrderedDict[str, CompiledTrace]" = OrderedDict()
+        self._plan_memory: "OrderedDict[str, object]" = OrderedDict()
 
-    def _path_for(self, key: str) -> Optional[Path]:
+    def _path_for(self, key: str, suffix: str = "npz") -> Optional[Path]:
         if self.directory is None:
             return None
         safe = "".join(
             ch if ch.isalnum() or ch in "._-" else "_" for ch in key
         )
-        return self.directory / f"{safe}.v{_DISK_FORMAT_VERSION}.npz"
+        return self.directory / f"{safe}.v{_DISK_FORMAT_VERSION}.{suffix}"
 
     def get_or_compile(
         self,
@@ -383,14 +472,60 @@ class TraceCache:
         self._remember(key, compiled)
         return compiled
 
+    def get_or_build_plan(self, key: str, factory):
+        """Return the :class:`~repro.cluster.routing.RoutingPlan` cached
+        under ``key``, building (and persisting) it on first use.
+
+        ``key`` must encode everything the plan depends on -- the
+        trace's routing digest plus every ring/replication parameter
+        (see :func:`repro.cluster.routing.plan_cache_key`).
+        """
+        from repro.cluster.routing import RoutingPlan
+
+        cached = self._plan_memory.get(key)
+        if cached is not None:
+            self._plan_memory.move_to_end(key)
+            return cached
+        path = self._path_for(key, suffix="plan.npz")
+        if path is not None and path.exists():
+            try:
+                plan = RoutingPlan.load(path)
+            except Exception:
+                plan = None  # corrupt/stale: fall through to rebuild
+            if plan is not None:
+                self._remember_plan(key, plan)
+                return plan
+        plan = factory()
+        self.store_plan(key, plan)
+        return plan
+
+    def store_plan(self, key: str, plan) -> None:
+        """Put ``plan`` in both cache levels under ``key``, overwriting
+        whatever is there (also the self-heal path for stale or corrupt
+        disk entries detected by the caller)."""
+        path = self._path_for(key, suffix="plan.npz")
+        if path is not None:
+            try:
+                plan.save(path)
+            except OSError:
+                pass  # read-only cache dir: stay in-memory only
+        self._remember_plan(key, plan)
+
     def _remember(self, key: str, compiled: CompiledTrace) -> None:
         self._memory[key] = compiled
         self._memory.move_to_end(key)
         while len(self._memory) > self.memory_entries:
             self._memory.popitem(last=False)
 
+    def _remember_plan(self, key: str, plan) -> None:
+        self._plan_memory[key] = plan
+        self._plan_memory.move_to_end(key)
+        while len(self._plan_memory) > self.plan_entries:
+            self._plan_memory.popitem(last=False)
+
     def clear_memory(self) -> None:
         self._memory.clear()
+        self._plan_memory.clear()
 
 
 #: Process-wide cache instance used by the experiment harness.

@@ -1,13 +1,19 @@
 """Tests for counters, registries and timelines."""
 
+import itertools
+
 import pytest
 
 from repro.cache.stats import (
+    OP_DELETE,
+    OP_GET,
+    OP_SET,
     AccessOutcome,
     HitMissCounter,
     OpCounter,
     StatsRegistry,
     TimelineRecorder,
+    pack_outcome,
 )
 
 
@@ -58,6 +64,49 @@ class TestStatsRegistry:
         x_classes = registry.class_counters_for("x")
         assert set(x_classes) == {1, 2}
         assert registry.total.gets == 3
+
+    def test_record_code_bulk_equals_repeated_record_code(self):
+        """Pin the bulk flush to the per-request decode, flag by flag.
+
+        ``record_code_bulk`` mirrors ``record_code``'s bit decode
+        instead of delegating (hot path); this sweep over every
+        hit/shadow flag combination, op, slab class and eviction count
+        is what keeps the two copies from drifting.
+        """
+        codes = [
+            pack_outcome(hit, slab, shadow, evicted)
+            for hit, shadow in itertools.product((False, True), repeat=2)
+            for slab in (None, 0, 3)
+            for evicted in (0, 1, 5)
+        ]
+        for op in (OP_GET, OP_SET, OP_DELETE):
+            for code in codes:
+                for count in (1, 2, 7):
+                    sequential = StatsRegistry()
+                    for _ in range(count):
+                        sequential.record_code("app", op, code)
+                    bulk = StatsRegistry()
+                    bulk.record_code_bulk("app", op, code, count)
+                    for seq_reg, bulk_reg in (
+                        (sequential.total, bulk.total),
+                        (sequential.by_app["app"], bulk.by_app["app"]),
+                    ):
+                        assert (
+                            seq_reg.get_hits,
+                            seq_reg.get_misses,
+                            seq_reg.sets,
+                            seq_reg.shadow_hits,
+                            seq_reg.evictions,
+                        ) == (
+                            bulk_reg.get_hits,
+                            bulk_reg.get_misses,
+                            bulk_reg.sets,
+                            bulk_reg.shadow_hits,
+                            bulk_reg.evictions,
+                        )
+                    assert set(sequential.by_app_class) == set(
+                        bulk.by_app_class
+                    )
 
 
 class TestOpCounter:

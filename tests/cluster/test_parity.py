@@ -196,3 +196,76 @@ def test_one_shard_disabled_rebalance_still_matches_server_path():
     assert gated.hit_rates == plain.hit_rates
     assert gated.overall_hit_rate == plain.overall_hit_rate
     assert counters_snapshot(gated.stats) == counters_snapshot(plain.stats)
+
+
+# ---------------------------------------------------------------------------
+# Partitioned-replay parity: the default routing-plan path must reproduce
+# the legacy per-request loop (``partitioned_replay: false``) bit for bit,
+# through the full scenario layer -- static splits, replication > 1, and
+# the epoch-driven rebalance path.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "cluster",
+    [
+        {"shards": 4},
+        {"shards": 4, "replication": 2},
+        {"shards": 3, "replication": 3, "hash_seed": 7, "virtual_nodes": 8},
+    ],
+    ids=["static", "replicated", "replicated-uneven-ring"],
+)
+def test_partitioned_scenario_bit_identical_to_legacy_loop(cluster):
+    base = DYNAMIC.replace(cluster=cluster)
+    fast = run_scenario(base, keep_server=True)
+    legacy = run_scenario(
+        base.replace(cluster=dict(cluster, partitioned_replay=False)),
+        keep_server=True,
+    )
+    assert fast.hit_rates == legacy.hit_rates  # exact float equality
+    assert fast.overall_hit_rate == legacy.overall_hit_rate
+    assert fast.requests == legacy.requests
+    assert counters_snapshot(fast.stats) == counters_snapshot(legacy.stats)
+    for fast_shard, legacy_shard in zip(
+        fast.cluster.servers, legacy.cluster.servers
+    ):
+        assert counters_snapshot(fast_shard.stats) == counters_snapshot(
+            legacy_shard.stats
+        )
+    # The knob is the only report difference.
+    fast_report = fast.cluster_report
+    legacy_report = legacy.cluster_report
+    assert fast_report["shard_loads"] == legacy_report["shard_loads"]
+    assert fast_report["imbalance"] == legacy_report["imbalance"]
+
+
+def test_partitioned_rebalance_scenario_bit_identical_to_legacy_loop():
+    base = DYNAMIC.replace(
+        scheme="hill",
+        cluster={"shards": 4, "virtual_nodes": 4},
+        rebalance={"epoch_requests": 2000, "policy": "shadow"},
+    )
+    fast = run_scenario(base, keep_server=True)
+    legacy = run_scenario(
+        base.replace(
+            cluster={
+                "shards": 4,
+                "virtual_nodes": 4,
+                "partitioned_replay": False,
+            }
+        ),
+        keep_server=True,
+    )
+    assert fast.hit_rates == legacy.hit_rates
+    assert fast.overall_hit_rate == legacy.overall_hit_rate
+    for fast_shard, legacy_shard in zip(
+        fast.cluster.servers, legacy.cluster.servers
+    ):
+        assert counters_snapshot(fast_shard.stats) == counters_snapshot(
+            legacy_shard.stats
+        )
+    fast_rebalance = fast.cluster_report["rebalance"]
+    legacy_rebalance = legacy.cluster_report["rebalance"]
+    assert fast_rebalance["transfers"] == legacy_rebalance["transfers"]
+    assert fast_rebalance["shard_budgets"] == legacy_rebalance["shard_budgets"]
+    assert fast_rebalance["timeline"] == legacy_rebalance["timeline"]

@@ -51,10 +51,15 @@ def one_error_line(capsys):
 def test_list_enumerates_experiments_schemes_and_workloads(capsys):
     assert main(["--list"]) == 0
     out = capsys.readouterr().out
-    for heading in ("experiments:", "schemes:", "workloads:"):
+    for heading in (
+        "experiments:", "schemes:", "workloads:", "scenario blocks:"
+    ):
         assert heading in out
     for entry in ("cluster_rebalance", "cliffhanger", "flash-crowd"):
         assert entry in out
+    # New scenario-visible knobs surface in the listing.
+    assert "partitioned_replay" in out
+    assert "policy (shadow|load)" in out
 
 
 def test_list_subcommand_matches_flag(capsys):

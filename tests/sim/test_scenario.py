@@ -112,6 +112,7 @@ def test_cluster_block_normalized_with_defaults():
         "hash_seed": 0,
         "replication": 1,
         "virtual_nodes": 64,
+        "partitioned_replay": True,
     }
     assert Scenario.from_dict(scenario.to_dict()) == scenario
     assert "4shards" in scenario.label()
