@@ -12,6 +12,10 @@ the bit-exactness oracle) on a 4-shard cluster:
   the legacy loop.
 * **rebalance** -- the mixed GET/SET trace with an epoch-driven load
   rebalancer attached, measuring the partitioned epoch-window path.
+* **faults** -- the mixed trace with a crash/restart schedule attached,
+  measuring the fault-aware window loops plus a no-fault control run
+  that gates (under ``BENCH_ENFORCE``) the fault plumbing's drag on the
+  fault-free path at 10% of the checked-in baseline.
 
 Both modes replay identical request sequences, so the benchmark also
 asserts their aggregate counters match bit for bit. Partitioned rounds
@@ -39,6 +43,9 @@ import pytest
 from repro.cluster import (
     Cluster,
     ClusterConfig,
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
     RebalanceConfig,
     Rebalancer,
     build_routing_plan,
@@ -230,6 +237,107 @@ def test_rebalance_replay_partitioned_vs_legacy(workload):
         f"req/s = {speedup:.2f}x (best of {ROUNDS})"
     )
     assert speedup > 0
+
+
+def test_faulted_replay_partitioned_vs_legacy(workload):
+    """Crash/restart replay throughput, plus the no-fault drag gate.
+
+    The fault-aware loops only engage when an injector is attached, so
+    the plain partitioned replay of the identical mixed trace is the
+    control: under ``BENCH_ENFORCE`` its normalized throughput must stay
+    within 10% of the checked-in baseline (the ``rebalance`` entry is
+    the closest prior-PR comparator -- same trace and cluster, plus
+    epoch machinery this run does not even pay for).
+    """
+    compiled = workload.compiled
+    requests = len(compiled)
+    crash_at = int(requests * 0.35)
+    restart_at = int(requests * 0.55)
+    schedule = FaultSchedule(
+        events=(
+            FaultEvent("crash", 1, crash_at),
+            FaultEvent("restart", 1, restart_at),
+        )
+    )
+    # Control: no injector, same trace, partitioned path.
+    no_fault_best = None
+    for _ in range(ROUNDS):
+        cluster = build_cluster(workload, True)
+        plan = build_routing_plan(
+            compiled, cluster.ring, cluster.replication
+        )
+        started = time.perf_counter()
+        cluster.replay_compiled(compiled, plan=plan)
+        elapsed = time.perf_counter() - started
+        if no_fault_best is None or elapsed < no_fault_best:
+            no_fault_best = elapsed
+    no_fault_rate = requests / no_fault_best
+    # Faulted: both loops replay the schedule; parity includes the
+    # fault report (downtime, recovery, timeline), not just counters.
+    measured = {}
+    finals = {}
+    for partitioned in (False, True):
+        best = None
+        for _ in range(ROUNDS):
+            cluster = build_cluster(workload, partitioned)
+            injector = FaultInjector(cluster, schedule)
+            cluster.attach_faults(injector)
+            plan = (
+                build_routing_plan(
+                    compiled, cluster.ring, cluster.replication
+                )
+                if partitioned
+                else None
+            )
+            started = time.perf_counter()
+            stats = cluster.replay_compiled(compiled, plan=plan)
+            elapsed = time.perf_counter() - started
+            if best is None or elapsed < best:
+                best = elapsed
+        measured[partitioned] = requests / best
+        finals[partitioned] = (_totals(stats), injector.to_dict())
+    assert finals[True] == finals[False]  # bit-identical incl. report
+    speedup = measured[True] / measured[False]
+    fault_overhead = no_fault_rate / measured[True]
+    RESULTS["faults"] = {
+        "shards": SHARDS,
+        "replication": REPLICATION,
+        "requests": requests,
+        "crash_at": crash_at,
+        "restart_at": restart_at,
+        "no_fault_requests_per_sec": no_fault_rate,
+        "legacy_requests_per_sec": measured[False],
+        "partitioned_requests_per_sec": measured[True],
+        "speedup": speedup,
+        "no_fault_over_faulted": fault_overhead,
+    }
+    print(
+        f"\n[cluster-faults] crash@{crash_at:,}/restart@{restart_at:,}: "
+        f"legacy {measured[False]:,.0f} req/s, partitioned "
+        f"{measured[True]:,.0f} req/s = {speedup:.2f}x; no-fault control "
+        f"{no_fault_rate:,.0f} req/s ({fault_overhead:.2f}x the faulted "
+        f"run, best of {ROUNDS})"
+    )
+    assert speedup > 0
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+        reference = (
+            baseline.get("replays", {})
+            .get("rebalance", {})
+            .get("normalized_score")
+        )
+        if reference is not None:
+            normalized = no_fault_rate / _calibration_ops_per_sec()
+            message = (
+                f"no-fault partitioned replay normalized "
+                f"{normalized:.4f} fell below 90% of the baseline "
+                f"{reference:.4f}: the fault plumbing is dragging the "
+                "fault-free path"
+            )
+            if normalized < reference * 0.9:
+                if os.environ.get("BENCH_ENFORCE"):
+                    pytest.fail(message)
+                print(f"WARNING: {message}")
 
 
 def test_write_artifact():

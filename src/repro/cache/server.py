@@ -39,6 +39,22 @@ class CacheServer:
             raise ConfigurationError(f"app {engine.app!r} already registered")
         self.engines[engine.app] = engine
 
+    def replace_app(self, engine: Engine) -> Engine:
+        """Swap a registered tenant's engine for a fresh one.
+
+        The cluster fault layer's cold-restart path: a restarted shard
+        keeps its cumulative stats (downtime misses stay on the record)
+        but loses every cached item, which a factory-fresh engine
+        models exactly. Returns the replaced engine.
+        """
+        if engine.app not in self.engines:
+            raise ConfigurationError(
+                f"app {engine.app!r} not registered; use add_app"
+            )
+        old = self.engines[engine.app]
+        self.engines[engine.app] = engine
+        return old
+
     def add_observer(self, observer: Observer) -> None:
         """Attach a per-request observer (timelines, profilers, ...)."""
         self._observers.append(observer)

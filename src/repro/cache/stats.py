@@ -26,14 +26,17 @@ OP_DELETE = 2
 OP_CODES: Dict[str, int] = {"get": OP_GET, "set": OP_SET, "delete": OP_DELETE}
 OP_NAMES: Tuple[str, ...] = ("get", "set", "delete")
 
-#: Outcome codes pack (hit, shadow_hit, slab_class, evicted) into one int:
-#: bit 0 = hit, bit 1 = shadow hit, bits 2-8 = slab class + 1 (0 means
-#: "no slab class"), bits 9+ = eviction count.
+#: Outcome codes pack (hit, shadow_hit, slab_class, dead, evicted) into
+#: one int: bit 0 = hit, bit 1 = shadow hit, bits 2-8 = slab class + 1
+#: (0 means "no slab class"), bit 9 = dead shard (the request targeted a
+#: crashed shard and was never served -- the cluster fault layer's
+#: ``miss-through`` policy), bits 10+ = eviction count.
 OUTCOME_HIT = 1
 OUTCOME_SHADOW_HIT = 2
 CLASS_SHIFT = 2
 CLASS_MASK = 0x7F
-EVICTED_SHIFT = 9
+OUTCOME_DEAD = 1 << 9
+EVICTED_SHIFT = 10
 
 
 def pack_outcome(
@@ -41,6 +44,7 @@ def pack_outcome(
     slab_class: Optional[int] = None,
     shadow_hit: bool = False,
     evicted: int = 0,
+    dead: bool = False,
 ) -> int:
     """Pack an outcome into the integer code the fast path uses."""
     code = (evicted << EVICTED_SHIFT) | (
@@ -50,6 +54,8 @@ def pack_outcome(
         code |= OUTCOME_HIT
     if shadow_hit:
         code |= OUTCOME_SHADOW_HIT
+    if dead:
+        code |= OUTCOME_DEAD
     return code
 
 
@@ -74,6 +80,9 @@ class AccessOutcome:
         op: The operation that produced this outcome ("get" or "set").
         evicted: Number of items evicted from physical memory as a direct
             consequence of this request.
+        dead: True when the request was addressed to a crashed shard and
+            never reached an engine (cluster fault injection under the
+            ``miss-through`` policy); GETs still count as misses.
     """
 
     hit: bool
@@ -82,6 +91,7 @@ class AccessOutcome:
     slab_class: Optional[int] = None
     shadow_hit: bool = False
     evicted: int = 0
+    dead: bool = False
 
 
 class HitMissCounter:
@@ -91,7 +101,10 @@ class HitMissCounter:
     separately for the throughput experiments (Table 7).
     """
 
-    __slots__ = ("get_hits", "get_misses", "sets", "shadow_hits", "evictions")
+    __slots__ = (
+        "get_hits", "get_misses", "sets", "shadow_hits", "evictions",
+        "dead_requests",
+    )
 
     def __init__(self) -> None:
         self.get_hits = 0
@@ -99,6 +112,7 @@ class HitMissCounter:
         self.sets = 0
         self.shadow_hits = 0
         self.evictions = 0
+        self.dead_requests = 0
 
     # ------------------------------------------------------------------
 
@@ -112,6 +126,8 @@ class HitMissCounter:
             self.sets += 1
         if outcome.shadow_hit:
             self.shadow_hits += 1
+        if outcome.dead:
+            self.dead_requests += 1
         self.evictions += outcome.evicted
 
     def record_code(self, op: int, code: int) -> None:
@@ -125,6 +141,8 @@ class HitMissCounter:
             self.sets += 1
         if code & OUTCOME_SHADOW_HIT:
             self.shadow_hits += 1
+        if code & OUTCOME_DEAD:
+            self.dead_requests += 1
         self.evictions += code >> EVICTED_SHIFT
 
     def merge(self, other: "HitMissCounter") -> None:
@@ -133,6 +151,7 @@ class HitMissCounter:
         self.sets += other.sets
         self.shadow_hits += other.shadow_hits
         self.evictions += other.evictions
+        self.dead_requests += other.dead_requests
 
     # ------------------------------------------------------------------
 
@@ -202,6 +221,9 @@ class StatsRegistry:
         if code & OUTCOME_SHADOW_HIT:
             for counter in triple:
                 counter.shadow_hits += 1
+        if code & OUTCOME_DEAD:
+            for counter in triple:
+                counter.dead_requests += 1
         if evicted:
             for counter in triple:
                 counter.evictions += evicted
@@ -237,6 +259,9 @@ class StatsRegistry:
         if code & OUTCOME_SHADOW_HIT:
             for counter in triple:
                 counter.shadow_hits += count
+        if code & OUTCOME_DEAD:
+            for counter in triple:
+                counter.dead_requests += count
         if evicted:
             for counter in triple:
                 counter.evictions += evicted

@@ -24,9 +24,16 @@ from repro.cluster.cluster import (
     ShardLoad,
     render_cluster_report,
 )
+from repro.cluster.faults import (
+    FAULT_POLICIES,
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+)
 from repro.cluster.hashring import HashRing
 from repro.cluster.rebalance import RebalanceConfig, Rebalancer
 from repro.cluster.routing import (
+    LiveRouter,
     RoutingPlan,
     build_routing_plan,
     get_routing_plan,
@@ -36,7 +43,12 @@ __all__ = [
     "Cluster",
     "ClusterConfig",
     "ClusterReport",
+    "FAULT_POLICIES",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
     "HashRing",
+    "LiveRouter",
     "RebalanceConfig",
     "Rebalancer",
     "RoutingPlan",

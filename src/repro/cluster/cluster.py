@@ -31,11 +31,11 @@ import numpy as np
 from repro.cache.engines import Engine
 from repro.cache.server import CacheServer
 from repro.cache.slabs import SlabGeometry
-from repro.cache.stats import HitMissCounter, StatsRegistry
+from repro.cache.stats import OUTCOME_DEAD, HitMissCounter, StatsRegistry
 from repro.common.errors import ConfigurationError
 from repro.cluster.hashring import HashRing
 from repro.cluster.rebalance import epoch_windows
-from repro.cluster.routing import RoutingPlan, build_routing_plan
+from repro.cluster.routing import LiveRouter, RoutingPlan, build_routing_plan
 from repro.workloads.trace import Request
 
 #: Engine factory for one tenant: ``(shard_index, budget_share) -> Engine``.
@@ -186,6 +186,29 @@ def render_cluster_report(payload: Dict[str, Any]) -> List[str]:
                 for budget in rebalance["shard_budgets"]
             )
         )
+    faults = payload.get("faults")
+    if faults is not None:
+        lines.append(
+            f"  faults ({faults['policy']}): {len(faults['events'])} "
+            f"event(s), {len(faults['crashes'])} crash(es), "
+            f"{faults['dead_requests']:,} dead request(s), "
+            f"{faults['fault_evictions']:,} fault eviction(s)"
+        )
+        for crash in faults["crashes"]:
+            line = (
+                f"    shard {crash['shard']} down @ {crash['crash_at']:,} "
+                f"for {crash['downtime_requests']:,} request(s), "
+                f"pre-fault hit rate {crash['pre_fault_hit_rate']:.4f}, "
+                f"miss cost {crash['miss_cost']:.0f}"
+            )
+            if crash["recovered_at"] is not None:
+                line += (
+                    f", recovered @ {crash['recovered_at']:,} "
+                    f"(ttr {crash['time_to_recover']:,} requests)"
+                )
+            elif crash["restart_at"] is not None:
+                line += ", not recovered by trace end"
+            lines.append(line)
     return lines
 
 
@@ -211,6 +234,10 @@ class ClusterReport:
     #: transfer counts, per-epoch allocation timeline); None when the
     #: replay used the static split.
     rebalance: Optional[Dict[str, Any]] = None
+    #: :meth:`repro.cluster.faults.FaultInjector.to_dict` payload
+    #: (schedule, per-crash downtime/recovery metrics, hit-rate
+    #: timeline); None when no fault injector was attached.
+    faults: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -225,6 +252,9 @@ class ClusterReport:
             "hot_shards": list(self.hot_shards),
             "rebalance": (
                 dict(self.rebalance) if self.rebalance is not None else None
+            ),
+            "faults": (
+                dict(self.faults) if self.faults is not None else None
             ),
         }
 
@@ -262,6 +292,11 @@ class Cluster:
         ]
         #: Optional online rebalancer (see :meth:`attach_rebalancer`).
         self.rebalancer = None
+        #: Optional fault injector (see :meth:`attach_faults`).
+        self.fault_injector = None
+        #: Per-app engine factories captured by :meth:`add_app`; the
+        #: fault layer rebuilds restarted shards cold through these.
+        self.engine_factories: Dict[str, EngineFactory] = {}
         # Per-key round-robin counters for the object API (the compiled
         # replay keeps its own array-based counters).
         self._spread: Dict[object, int] = {}
@@ -286,12 +321,25 @@ class Cluster:
                     f"named {engine.app!r}"
                 )
             server.add_app(engine)
+        self.engine_factories[app] = make_engine
 
     def attach_rebalancer(self, rebalancer) -> None:
         """Install a :class:`~repro.cluster.rebalance.Rebalancer`; the
         next :meth:`replay_compiled` takes the epoch-driven path and the
         cluster report grows a ``rebalance`` section."""
         self.rebalancer = rebalancer
+
+    def attach_faults(self, injector) -> None:
+        """Install a :class:`~repro.cluster.faults.FaultInjector`; the
+        next :meth:`replay_compiled` takes the fault-aware path and the
+        cluster report grows a ``faults`` section."""
+        self.fault_injector = injector
+
+    def live_mask(self) -> List[bool]:
+        """Per-shard liveness (all live without a fault injector)."""
+        if self.fault_injector is not None:
+            return self.fault_injector.live
+        return [True] * len(self.servers)
 
     # ------------------------------------------------------------------
 
@@ -336,6 +384,10 @@ class Cluster:
         exactly where the per-request loop puts them.
         """
         partitioned = self.config.partitioned_replay
+        if self.fault_injector is not None:
+            if partitioned:
+                return self._replay_faults_partitioned(trace, plan)
+            return self._replay_faults_per_request(trace)
         if self.rebalancer is not None:
             if partitioned:
                 return self._replay_epochs_partitioned(trace, plan)
@@ -433,6 +485,50 @@ class Cluster:
                 rebalancer.on_epoch()
         return self.aggregate_stats()
 
+    def _replay_faults_partitioned(
+        self, trace, plan: Optional[RoutingPlan]
+    ) -> StatsRegistry:
+        """The fault-aware fast path: partition and replay between the
+        injector's merged barriers (fault offsets, rebalance epochs, and
+        the metric sampling grid), re-deriving the routing column per
+        live set under the ``failover`` policy (``miss-through`` keeps
+        the base plan and tags dead-shard runs). The barrier protocol --
+        sample, then epoch, then events -- matches
+        :meth:`_replay_faults_per_request` exactly, which the property
+        tests pin down."""
+        self._check_geometry(trace)
+        plan = self._resolve_plan(trace, plan)
+        self._require_engines(trace)
+        injector = self.fault_injector
+        rebalancer = self.rebalancer
+        epoch_requests = (
+            rebalancer.config.epoch_requests if rebalancer is not None else 0
+        )
+        injector.begin(len(trace), epoch_requests)
+        failover = injector.policy == "failover"
+        router = (
+            LiveRouter(trace, self.ring, self.replication, base_plan=plan)
+            if failover
+            else None
+        )
+        app_column = np.asarray(trace.app_ids, dtype=np.int64)
+        no_dead = frozenset()
+        for start, stop in injector.windows():
+            if failover:
+                shard_column = router.shard_ids(injector.live)
+                dead = no_dead
+            else:
+                shard_column = plan.shard_ids
+                dead = injector.dead_shards()
+            self._replay_window(
+                trace, shard_column, app_column, start, stop, dead=dead
+            )
+            injector.on_barrier(stop)
+            if epoch_requests and stop % epoch_requests == 0:
+                rebalancer.on_epoch()
+            injector.apply_events(stop)
+        return self.aggregate_stats()
+
     def _replay_window(
         self,
         trace,
@@ -440,6 +536,7 @@ class Cluster:
         app_column: np.ndarray,
         start: int,
         stop: int,
+        dead: frozenset = frozenset(),
     ) -> None:
         """Replay requests ``[start, stop)`` as per-(shard, app) runs.
 
@@ -452,6 +549,13 @@ class Cluster:
         of identical packed outcomes that is flushed through
         :meth:`StatsRegistry.record_code_bulk` (integer counters, so
         batching is bit-identical).
+
+        Runs addressed to a ``dead`` shard (the fault layer's
+        ``miss-through`` policy) never reach an engine: each request is
+        recorded on the dead shard's registry with the ``OUTCOME_DEAD``
+        code -- GETs count as misses, SETs as sets -- which is
+        order-free, so the bulk tally stays bit-identical to the
+        per-request oracle.
         """
         num_apps = len(trace.app_table)
         window = (
@@ -474,6 +578,15 @@ class Cluster:
             if start:
                 picks = picks + start
             server = self.servers[shard]
+            if dead and shard in dead:
+                record_bulk = server.stats.record_code_bulk
+                app = trace.app_table[app_id]
+                ops, op_counts = np.unique(
+                    op_codes[picks], return_counts=True
+                )
+                for op, count in zip(ops.tolist(), op_counts.tolist()):
+                    record_bulk(app, op, OUTCOME_DEAD, count)
+                continue
             engine = server.engines[trace.app_table[app_id]]
             process = engine.process_fast
             # Tally identical (op, outcome-code) pairs instead of paying
@@ -627,6 +740,92 @@ class Cluster:
                 rebalancer.on_epoch()
         return self.aggregate_stats()
 
+    def _replay_faults_per_request(self, trace) -> StatsRegistry:
+        """The fault-aware oracle (``cluster.partitioned_replay:
+        false``): per-request routing between the injector's merged
+        barriers. Under ``failover`` each key's replica set is the ring's
+        live-successor walk, re-resolved whenever the live set changes
+        (``live_version`` stamps); round-robin turn counters are global
+        occurrence indices and never reset. Under ``miss-through``
+        routing stays the all-live walk and requests landing on a dead
+        shard are recorded with ``OUTCOME_DEAD`` instead of reaching an
+        engine. The property tests assert this loop and
+        :meth:`_replay_faults_partitioned` are bit-identical."""
+        self._check_geometry(trace)
+        injector = self.fault_injector
+        rebalancer = self.rebalancer
+        epoch_requests = (
+            rebalancer.config.epoch_requests if rebalancer is not None else 0
+        )
+        injector.begin(len(trace), epoch_requests)
+        failover = injector.policy == "failover"
+        replication = self.replication
+        n_keys = len(trace.key_table)
+        replicas_of_key: List[Optional[List[int]]] = [None] * n_keys
+        route_version = [-1] * n_keys
+        turn_of_key = [0] * n_keys
+        records = [server.stats.record_code for server in self.servers]
+        app_ids = trace.app_ids
+        key_ids = trace.key_ids
+        keys = trace.keys
+        op_codes = trace.op_codes
+        slab_classes = trace.slab_classes
+        chunk_column = trace.chunk_bytes
+        item_column = trace.item_bytes
+        ring = self.ring
+        for start, stop in injector.windows():
+            # Restarts swap in factory-fresh engines, so the engine rows
+            # must be re-resolved per window (stats registries persist).
+            engines = [
+                [server.engines.get(name) for name in trace.app_table]
+                for server in self.servers
+            ]
+            live = injector.live
+            version = injector.live_version
+            for i in range(start, stop):
+                key_id = key_ids[i]
+                if failover:
+                    if route_version[key_id] != version:
+                        replicas_of_key[key_id] = ring.shards_for_live(
+                            keys[i], replication, live
+                        )
+                        route_version[key_id] = version
+                elif replicas_of_key[key_id] is None:
+                    replicas_of_key[key_id] = ring.shards_for(
+                        keys[i], replication
+                    )
+                choices = replicas_of_key[key_id]
+                turn = turn_of_key[key_id]
+                turn_of_key[key_id] = turn + 1
+                shard = choices[turn % len(choices)]
+                app_id = app_ids[i]
+                engine = engines[shard][app_id]
+                if engine is None:
+                    raise ConfigurationError(
+                        f"request for unknown app "
+                        f"{trace.app_table[app_id]!r}"
+                    )
+                op = op_codes[i]
+                if not live[shard]:
+                    records[shard](engine.app, op, OUTCOME_DEAD)
+                    continue
+                records[shard](
+                    engine.app,
+                    op,
+                    engine.process_fast(
+                        keys[i],
+                        op,
+                        slab_classes[i],
+                        chunk_column[i],
+                        item_column[i],
+                    ),
+                )
+            injector.on_barrier(stop)
+            if epoch_requests and stop % epoch_requests == 0:
+                rebalancer.on_epoch()
+            injector.apply_events(stop)
+        return self.aggregate_stats()
+
     # ------------------------------------------------------------------
 
     def aggregate_stats(self) -> StatsRegistry:
@@ -695,6 +894,11 @@ class Cluster:
             rebalance=(
                 self.rebalancer.to_dict()
                 if self.rebalancer is not None
+                else None
+            ),
+            faults=(
+                self.fault_injector.to_dict()
+                if self.fault_injector is not None
                 else None
             ),
         )

@@ -16,7 +16,7 @@ shards clockwise of the key, the standard successor-list placement.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.common.hashing import stable_hash_u64
@@ -94,6 +94,72 @@ class HashRing:
                 if len(replicas) == count:
                     break
         return replicas
+
+    def shards_for_live(
+        self, key: object, count: int, live: Sequence[bool]
+    ) -> List[int]:
+        """The first ``count`` distinct *live* shards clockwise of ``key``.
+
+        The failover walk: a key whose successors are crashed simply
+        keeps walking the ring, so its requests land on the next live
+        shard(s) -- and when the dead shard restarts, the same walk
+        routes the key straight back. ``count`` is clamped to the number
+        of live shards; with every shard live this equals
+        :meth:`shards_for`.
+        """
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        alive = sum(1 for flag in live if flag)
+        if alive == 0:
+            raise ConfigurationError(
+                "no live shards on the ring; a fault schedule must never "
+                "crash every shard at once"
+            )
+        count = min(count, alive)
+        token = stable_hash_u64(key, salt=self.seed)
+        start = bisect_right(self._tokens, token) % len(self._tokens)
+        total = len(self._tokens)
+        replicas: List[int] = []
+        for step in range(total):
+            owner = self._owners[(start + step) % total]
+            if live[owner] and owner not in replicas:
+                replicas.append(owner)
+                if len(replicas) == count:
+                    break
+        return replicas
+
+    def live_successor_table(
+        self, count: int, live: Sequence[bool]
+    ) -> List[List[int]]:
+        """Per ring position, the first ``count`` distinct *live* owners
+        clockwise -- :meth:`successor_table` with crashed shards masked
+        out, the bulk-routing backbone of the failover replay.
+
+        Derived by filtering the full successor order (every shard owns
+        at least one token, so the full distinct-owner walk always lists
+        all shards): dropping dead owners from the full order is exactly
+        what the clockwise walk skipping dead tokens would produce.
+        ``count`` is clamped to the live-shard total.
+        """
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        if len(live) != self.shards:
+            raise ConfigurationError(
+                f"live mask covers {len(live)} shard(s); ring has "
+                f"{self.shards}"
+            )
+        alive = sum(1 for flag in live if flag)
+        if alive == 0:
+            raise ConfigurationError(
+                "no live shards on the ring; a fault schedule must never "
+                "crash every shard at once"
+            )
+        count = min(count, alive)
+        table = []
+        for full in self.successor_table(self.shards):
+            live_order = [owner for owner in full if live[owner]]
+            table.append(live_order[:count])
+        return table
 
     def token_table(self) -> Tuple[List[int], List[int]]:
         """The ring's sorted ``(tokens, owners)`` columns.

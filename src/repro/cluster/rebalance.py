@@ -254,7 +254,15 @@ class Rebalancer:
         """One rebalance decision: grow the neediest shard, shrink a
         random other (Algorithm 1 with shards as queues). Returns the
         donor shard, or None when no transfer happened (no demand signal
-        this epoch, or every other shard sits at the floor)."""
+        this epoch, or every other shard sits at the floor).
+
+        Crashed shards (cluster fault injection) neither win nor donate:
+        their demand deltas are masked to zero -- a dead shard can still
+        accumulate signal under the ``miss-through`` policy -- and the
+        donor pool is filtered to live shards. With every shard live the
+        masking is a no-op and the climber call is unchanged, so
+        fault-free replays stay bit-identical.
+        """
         current = self._signals()
         deltas = [
             now - before
@@ -263,10 +271,20 @@ class Rebalancer:
         self._last_signal = current
         self.epochs += 1
         victim = None
+        live = self.cluster.live_mask()
+        all_live = all(live)
+        if not all_live:
+            deltas = [
+                delta if alive else 0
+                for delta, alive in zip(deltas, live)
+            ]
         best = max(deltas)
         if best > 0:
             winner = deltas.index(best)  # ties: lowest shard index
-            victim = self.climber.on_shadow_hit(winner)
+            victim = self.climber.on_shadow_hit(
+                winner,
+                eligible=None if all_live else live.__getitem__,
+            )
         self._sample()
         return victim
 

@@ -26,7 +26,7 @@ every ring parameter, so sweeps over schemes/budgets re-route nothing.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -181,6 +181,31 @@ class RoutingPlan:
             )
 
 
+def ring_positions(trace, ring) -> np.ndarray:
+    """Per trace key, the ring position its hash bisects to.
+
+    The shared first half of every bulk routing pass: one vectorized
+    splitmix64 sweep over ``trace.key_table`` plus one ``searchsorted``
+    against the ring's token column. ``positions[key_id]`` indexes the
+    ring's ``token_table()``/``successor_table()`` rows.
+    """
+    key_table = trace.key_table
+    if all(isinstance(key, str) for key in key_table):
+        hashes = hash_keys_u64(key_table, salt=ring.seed)
+    else:  # hand-built traces with exotic keys: scalar fallback
+        hashes = np.fromiter(
+            (stable_hash_u64(key, salt=ring.seed) for key in key_table),
+            dtype=np.uint64,
+            count=len(key_table),
+        )
+    tokens, _ = ring.token_table()
+    token_column = np.asarray(tokens, dtype=np.uint64)
+    # bisect_right then wrap-to-0 at the end of the ring == mod.
+    return np.searchsorted(token_column, hashes, side="right") % len(
+        token_column
+    )
+
+
 def build_routing_plan(trace, ring, replication: int = 1) -> RoutingPlan:
     """Route every request of a compiled trace through ``ring`` at once.
 
@@ -195,23 +220,10 @@ def build_routing_plan(trace, ring, replication: int = 1) -> RoutingPlan:
             f"replication must be >= 1, got {replication}"
         )
     replication = min(replication, ring.shards)
-    key_table = trace.key_table
-    if all(isinstance(key, str) for key in key_table):
-        hashes = hash_keys_u64(key_table, salt=ring.seed)
-    else:  # hand-built traces with exotic keys: scalar fallback
-        hashes = np.fromiter(
-            (stable_hash_u64(key, salt=ring.seed) for key in key_table),
-            dtype=np.uint64,
-            count=len(key_table),
-        )
-    tokens, owners = ring.token_table()
-    token_column = np.asarray(tokens, dtype=np.uint64)
-    # bisect_right then wrap-to-0 at the end of the ring == mod.
-    positions = np.searchsorted(token_column, hashes, side="right") % len(
-        token_column
-    )
+    positions = ring_positions(trace, ring)
     key_ids = np.asarray(trace.key_ids, dtype=np.int64)
     if replication == 1:
+        _, owners = ring.token_table()
         primary = np.asarray(owners, dtype=np.int32)[positions]
         shard_ids = primary[key_ids]
     else:
@@ -225,6 +237,76 @@ def build_routing_plan(trace, ring, replication: int = 1) -> RoutingPlan:
     return RoutingPlan(
         ring.shards, ring.seed, ring.virtual_nodes, replication, shard_ids
     )
+
+
+class LiveRouter:
+    """Per-live-set routing columns for the fault-aware failover replay.
+
+    Crashing a shard changes where its keys land (next live successor)
+    without moving anyone else's keys -- consistent hashing's whole
+    point -- so the fault replay re-derives the routing column at every
+    fault window instead of once per (trace, ring). This router shares
+    the expensive, live-set-independent halves across windows: the
+    per-key ring positions, the per-request round-robin turns, and the
+    ring's full successor order. A window's column is then one
+    table-filter plus one gather, memoized per live set (schedules
+    revisit live sets -- crash/restart pairs return to all-live).
+
+    The routing contract matches the per-request oracle exactly: a key's
+    replica set is the first ``min(replication, live_count)`` *live*
+    successors clockwise of its hash, and its round-robin turn is its
+    occurrence index over the whole trace (counters do not reset at
+    fault barriers).
+    """
+
+    def __init__(self, trace, ring, replication: int, base_plan=None):
+        self.ring = ring
+        self.replication = min(max(replication, 1), ring.shards)
+        self._trace = trace
+        self._positions: Optional[np.ndarray] = None
+        self._turns: Optional[np.ndarray] = None
+        self._key_ids: Optional[np.ndarray] = None
+        self._columns: Dict[Tuple[bool, ...], np.ndarray] = {}
+        if base_plan is not None and len(base_plan) == len(trace):
+            # The all-live column is the cached RoutingPlan; reuse it so
+            # no-fault windows pay nothing the plain replay would not.
+            self._columns[(True,) * ring.shards] = base_plan.shard_ids
+
+    def _ensure_tables(self) -> None:
+        if self._positions is not None:
+            return
+        trace = self._trace
+        self._positions = ring_positions(trace, self.ring)
+        self._key_ids = np.asarray(trace.key_ids, dtype=np.int64)
+        self._turns = occurrence_index(self._key_ids)
+
+    def shard_ids(self, live: Sequence[bool]) -> np.ndarray:
+        """The full-trace shard column under ``live`` (memoized)."""
+        mask = tuple(bool(flag) for flag in live)
+        if len(mask) != self.ring.shards:
+            raise ConfigurationError(
+                f"live mask covers {len(mask)} shard(s); ring has "
+                f"{self.ring.shards}"
+            )
+        column = self._columns.get(mask)
+        if column is not None:
+            return column
+        self._ensure_tables()
+        alive = sum(mask)
+        effective = min(self.replication, alive)
+        table = np.asarray(
+            self.ring.live_successor_table(effective, mask), dtype=np.int32
+        )
+        if effective == 1:
+            column = table[:, 0][self._positions][self._key_ids]
+        else:
+            column = table[
+                self._positions[self._key_ids],
+                self._turns % np.int64(effective),
+            ]
+        column = np.ascontiguousarray(column, dtype=np.int32)
+        self._columns[mask] = column
+        return column
 
 
 def plan_cache_key(trace, ring, replication: int) -> str:

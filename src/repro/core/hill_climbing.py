@@ -100,10 +100,19 @@ class HillClimber:
 
     # ------------------------------------------------------------------
 
-    def on_shadow_hit(self, queue_id: QueueId) -> Optional[QueueId]:
+    def on_shadow_hit(
+        self,
+        queue_id: QueueId,
+        eligible: Optional[Callable[[QueueId], bool]] = None,
+    ) -> Optional[QueueId]:
         """Algorithm 1, lines 1-5: grow ``queue_id``, shrink a random
         other queue. Returns the victim's id, or None when no queue could
         donate (all others at the floor, or the winner is alone).
+
+        ``eligible`` optionally filters the donor pool without
+        unregistering anyone (the cluster fault layer excludes crashed
+        shards this way); an all-true predicate leaves the donor list --
+        and therefore the RNG draw sequence -- unchanged.
         """
         winner = self._targets.get(queue_id)
         if winner is None:
@@ -112,6 +121,7 @@ class HillClimber:
             other_id
             for other_id, target in self._targets.items()
             if other_id != queue_id
+            and (eligible is None or eligible(other_id))
             and target.get_capacity() > self.min_bytes
         ]
         if not donors:

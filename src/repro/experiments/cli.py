@@ -68,6 +68,22 @@ def _print_listing() -> None:
         "  rebalance: epoch_requests, credit_bytes, min_shard_fraction, "
         "policy (shadow|load)"
     )
+    print(
+        "  faults: events [{kind (crash|restart), shard, at}, ...], "
+        "policy (failover|miss-through),"
+    )
+    print(
+        "    sample_requests (0 = auto), recovery_epsilon; deterministic "
+        "crash/restart schedule"
+    )
+    print(
+        "    over the cluster's shards -- failover reroutes keys to live "
+        "ring successors,"
+    )
+    print(
+        "    miss-through counts dead-shard requests as misses; requires "
+        "a cluster block"
+    )
 
 
 def _load_spec(target: str) -> dict:

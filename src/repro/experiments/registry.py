@@ -6,6 +6,7 @@ from typing import Callable, Dict, List
 
 from repro.common.errors import ConfigurationError
 from repro.experiments import (
+    cluster_faults,
     cluster_rebalance,
     cluster_scaling,
     fig1_hrc,
@@ -48,6 +49,7 @@ REGISTRY: Dict[str, Runner] = {
     "sensitivity": sensitivity.run,
     "cluster_scaling": cluster_scaling.run,
     "cluster_rebalance": cluster_rebalance.run,
+    "cluster_faults": cluster_faults.run,
 }
 
 

@@ -151,7 +151,13 @@ def replay_on_cluster(
     settings routes each (trace, ring) pair once -- including across
     worker processes sharing the on-disk store.
     """
-    from repro.cluster import RebalanceConfig, Rebalancer, get_routing_plan
+    from repro.cluster import (
+        FaultInjector,
+        FaultSchedule,
+        RebalanceConfig,
+        Rebalancer,
+        get_routing_plan,
+    )
 
     chosen = _chosen_apps(scenario, trace)
     cluster = build_cluster(scenario, trace)
@@ -161,6 +167,12 @@ def replay_on_cluster(
             cluster.attach_rebalancer(
                 Rebalancer(cluster, rebalance, seed=scenario.seed)
             )
+    if scenario.faults is not None:
+        # An empty schedule attaches nothing: the replay must stay on
+        # the fault-free paths, byte for byte (the parity tests pin it).
+        schedule = FaultSchedule.from_dict(scenario.faults)
+        if schedule.enabled:
+            cluster.attach_faults(FaultInjector(cluster, schedule))
     compiled = getattr(trace, "compiled", None)
     if compiled is None:
         raise ConfigurationError(

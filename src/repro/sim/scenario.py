@@ -76,6 +76,15 @@ class Scenario:
             :mod:`repro.cluster.rebalance`). ``epoch_requests: 0``
             disables it: the replay stays bit-identical to the static
             split.
+        faults: Optional fault-injection block
+            (``{"events": [{"kind": "crash"|"restart", "shard": S,
+            "at": OFFSET}, ...], "policy": "failover"|"miss-through",
+            "sample_requests": N, "recovery_epsilon": E}``); requires a
+            ``cluster`` block. Crashes mask the shard out of routing
+            (``failover``) or swallow its requests as tagged misses
+            (``miss-through``); restarts rebuild it cold. See
+            :mod:`repro.cluster.faults`. An empty ``events`` list leaves
+            the replay bit-identical to the fault-free paths.
         name: Optional label (sweeps generate one per grid point).
     """
 
@@ -91,6 +100,7 @@ class Scenario:
     engine_overrides: Dict[str, Any] = field(default_factory=dict)
     cluster: Optional[Dict[str, Any]] = None
     rebalance: Optional[Dict[str, Any]] = None
+    faults: Optional[Dict[str, Any]] = None
     name: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -126,6 +136,22 @@ class Scenario:
             self.rebalance = RebalanceConfig.from_dict(
                 self.rebalance
             ).to_dict()
+        if self.faults is not None:
+            if self.cluster is None:
+                raise ConfigurationError(
+                    "faults need a cluster block: fault injection "
+                    "crashes and restarts shards"
+                )
+            from repro.cluster import FaultSchedule
+
+            schedule = FaultSchedule.from_dict(self.faults)
+            schedule.validate_for(self.cluster["shards"])
+            if schedule.enabled and self.cluster["shards"] < 2:
+                raise ConfigurationError(
+                    "fault injection needs at least two shards: crashing "
+                    "the only shard would leave no live shard"
+                )
+            self.faults = schedule.to_dict()
 
     # ------------------------------------------------------------------
     # Serialization
@@ -155,6 +181,9 @@ class Scenario:
             "rebalance": (
                 dict(self.rebalance) if self.rebalance is not None else None
             ),
+            "faults": (
+                dict(self.faults) if self.faults is not None else None
+            ),
             "name": self.name,
         }
 
@@ -167,7 +196,7 @@ class Scenario:
         known = {
             "scheme", "workload", "policy", "scale", "seed", "apps",
             "budgets", "plans", "workload_params", "engine_overrides",
-            "cluster", "rebalance", "name",
+            "cluster", "rebalance", "faults", "name",
         }
         unknown = set(payload) - known
         if unknown:
@@ -221,6 +250,11 @@ class Scenario:
             label += f"/{self.cluster['shards']}shards"
         if self.rebalance is not None and self.rebalance["epoch_requests"]:
             label += f"/rebal-{self.rebalance['policy']}"
+        if self.faults is not None and self.faults["events"]:
+            label += (
+                f"/faults-{self.faults['policy']}"
+                f"x{len(self.faults['events'])}"
+            )
         return label
 
 

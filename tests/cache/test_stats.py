@@ -70,12 +70,14 @@ class TestStatsRegistry:
 
         ``record_code_bulk`` mirrors ``record_code``'s bit decode
         instead of delegating (hot path); this sweep over every
-        hit/shadow flag combination, op, slab class and eviction count
-        is what keeps the two copies from drifting.
+        hit/shadow/dead flag combination, op, slab class and eviction
+        count is what keeps the two copies from drifting.
         """
         codes = [
-            pack_outcome(hit, slab, shadow, evicted)
-            for hit, shadow in itertools.product((False, True), repeat=2)
+            pack_outcome(hit, slab, shadow, evicted, dead=dead)
+            for hit, shadow, dead in itertools.product(
+                (False, True), repeat=3
+            )
             for slab in (None, 0, 3)
             for evicted in (0, 1, 5)
         ]
@@ -97,12 +99,14 @@ class TestStatsRegistry:
                             seq_reg.sets,
                             seq_reg.shadow_hits,
                             seq_reg.evictions,
+                            seq_reg.dead_requests,
                         ) == (
                             bulk_reg.get_hits,
                             bulk_reg.get_misses,
                             bulk_reg.sets,
                             bulk_reg.shadow_hits,
                             bulk_reg.evictions,
+                            bulk_reg.dead_requests,
                         )
                     assert set(sequential.by_app_class) == set(
                         bulk.by_app_class

@@ -60,6 +60,9 @@ def test_list_enumerates_experiments_schemes_and_workloads(capsys):
     # New scenario-visible knobs surface in the listing.
     assert "partitioned_replay" in out
     assert "policy (shadow|load)" in out
+    assert "faults:" in out
+    assert "policy (failover|miss-through)" in out
+    assert "recovery_epsilon" in out
 
 
 def test_list_subcommand_matches_flag(capsys):
@@ -160,6 +163,77 @@ def test_rebalance_without_cluster_exits_2(capsys):
     spec["rebalance"] = {"epoch_requests": 100}
     assert main(["run", json.dumps(spec)]) == 2
     assert "cluster" in one_error_line(capsys)
+
+
+#: A valid faulted cluster spec the malformed variants below mutate.
+FAULTED_SCENARIO = {
+    **TINY_SCENARIO,
+    "cluster": {"shards": 4},
+    "faults": {
+        "events": [
+            {"kind": "crash", "shard": 1, "at": 100},
+            {"kind": "restart", "shard": 1, "at": 200},
+        ]
+    },
+}
+
+
+def test_faulted_scenario_spec_runs(capsys):
+    assert main(["run", json.dumps(FAULTED_SCENARIO)]) == 0
+    out = capsys.readouterr().out
+    assert "faults (failover)" in out
+    assert "shard 1 down @ 100" in out
+
+
+def test_faults_without_cluster_exits_2(capsys):
+    spec = dict(FAULTED_SCENARIO)
+    del spec["cluster"]
+    assert main(["run", json.dumps(spec)]) == 2
+    assert "cluster" in one_error_line(capsys)
+
+
+def test_faults_bad_shard_index_exits_2(capsys):
+    spec = dict(FAULTED_SCENARIO)
+    spec["faults"] = {"events": [{"kind": "crash", "shard": 9, "at": 100}]}
+    assert main(["run", json.dumps(spec)]) == 2
+    assert "shard" in one_error_line(capsys)
+
+
+def test_faults_non_monotonic_offsets_exit_2(capsys):
+    spec = dict(FAULTED_SCENARIO)
+    spec["faults"] = {
+        "events": [
+            {"kind": "crash", "shard": 1, "at": 200},
+            {"kind": "restart", "shard": 1, "at": 100},
+        ]
+    }
+    assert main(["run", json.dumps(spec)]) == 2
+    assert "non-decreasing" in one_error_line(capsys)
+
+
+def test_faults_restart_before_crash_exits_2(capsys):
+    spec = dict(FAULTED_SCENARIO)
+    spec["faults"] = {
+        "events": [{"kind": "restart", "shard": 1, "at": 100}]
+    }
+    assert main(["run", json.dumps(spec)]) == 2
+    assert "restart" in one_error_line(capsys)
+
+
+def test_faults_unknown_event_kind_exits_2(capsys):
+    spec = dict(FAULTED_SCENARIO)
+    spec["faults"] = {
+        "events": [{"kind": "explode", "shard": 1, "at": 100}]
+    }
+    assert main(["run", json.dumps(spec)]) == 2
+    assert "explode" in one_error_line(capsys)
+
+
+def test_faults_unknown_policy_exits_2(capsys):
+    spec = dict(FAULTED_SCENARIO)
+    spec["faults"] = dict(spec["faults"], policy="ignore")
+    assert main(["run", json.dumps(spec)]) == 2
+    assert "ignore" in one_error_line(capsys)
 
 
 def test_bad_sweep_spec_exits_2(capsys):

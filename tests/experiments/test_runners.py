@@ -52,6 +52,7 @@ def test_registry_covers_every_paper_artifact():
         "fig1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
         "tab1", "tab2", "tab3", "tab4", "tab5", "tab6", "tab7",
         "sensitivity", "cluster_scaling", "cluster_rebalance",
+        "cluster_faults",
     }
     assert set(REGISTRY) == expected
 
@@ -98,6 +99,20 @@ class TestQualitativeClaims:
             assert rows[policy][2] > static_hit, policy
             assert rows[policy][4] > 0  # transfers actually happened
             assert rows[policy][5] > 1.0  # hot shard above its even share
+
+    def test_cluster_faults_crash_costs_hits_and_recovers(self):
+        result = get_runner("cluster_faults")(scale=TINY, seed=0)
+        rows = {row[0]: row for row in result.rows}
+        healthy_hit = rows["healthy"][1]
+        downtime = rows["static"][3]
+        assert downtime > 0
+        for name in ("static", "rebalance"):
+            assert rows[name][1] < healthy_hit, name  # the fault costs hits
+            assert rows[name][3] == downtime, name
+            # Recovery is finite and cannot precede the restart.
+            assert rows[name][4] >= downtime, name
+        assert rows["rebalance"][6] > 0  # transfers actually happened
+        assert rows["rebalance"][1] >= rows["static"][1]
 
     def test_fig6_cliffhanger_not_worse_on_average(self):
         result = get_runner("fig6")(scale=0.02, seed=0)
