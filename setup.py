@@ -3,9 +3,21 @@
 The environment this reproduction targets may lack the ``wheel`` package,
 which PEP 517 editable installs require; ``python setup.py develop`` (or
 ``pip install -e . --no-build-isolation``) then still works through this
-shim. All metadata lives in pyproject.toml.
+shim. Uninstalled checkouts run everything via ``PYTHONPATH=src`` and
+the ``python -m`` spellings (``python -m repro.experiments``,
+``python -m repro.serve``).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="cliffhanger-repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    entry_points={
+        "console_scripts": [
+            "repro-experiments=repro.experiments.cli:main",
+            "repro-serve=repro.serve.cli:main",
+        ]
+    },
+)

@@ -24,18 +24,31 @@ replay is bit-identical to the static path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.cache.engines import Engine
 from repro.cache.server import CacheServer
 from repro.cache.slabs import SlabGeometry
-from repro.cache.stats import OUTCOME_DEAD, HitMissCounter, StatsRegistry
-from repro.common.errors import ConfigurationError
+from repro.cache.stats import (
+    OP_CODES,
+    OUTCOME_DEAD,
+    AccessOutcome,
+    HitMissCounter,
+    StatsRegistry,
+)
+from repro.common.constants import ITEM_OVERHEAD_BYTES
+from repro.common.errors import CacheError, ConfigurationError
 from repro.cluster.hashring import HashRing
 from repro.cluster.rebalance import epoch_windows
-from repro.cluster.routing import LiveRouter, RoutingPlan, build_routing_plan
+from repro.cluster.routing import (
+    LiveRouter,
+    RoutingPlan,
+    build_routing_plan,
+    hash_keys_u64,
+    occurrence_index,
+)
 from repro.workloads.trace import Request
 
 #: Engine factory for one tenant: ``(shard_index, budget_share) -> Engine``.
@@ -209,6 +222,27 @@ def render_cluster_report(payload: Dict[str, Any]) -> List[str]:
             elif crash["restart_at"] is not None:
                 line += ", not recovered by trace end"
             lines.append(line)
+    serve = payload.get("serve")
+    if serve is not None:
+        lines.append(
+            f"  serve ({serve['arrivals']} arrivals, backpressure "
+            f"{serve['backpressure']}, {serve['connections']} conn): "
+            f"offered {serve['offered_rate']:,.0f} req/s, achieved "
+            f"{serve['achieved_rate']:,.0f} req/s, shed {serve['shed']:,} "
+            f"of {serve['requests']:,}"
+        )
+        latency = serve["latency_ms"]
+        lines.append(
+            f"    latency ms: p50 {latency['p50']:.2f}  "
+            f"p95 {latency['p95']:.2f}  p99 {latency['p99']:.2f}  "
+            f"p999 {latency['p999']:.2f}  max {latency['max']:.2f}"
+        )
+        depths = serve["queue_depth"]["depths"]
+        if depths:
+            lines.append(
+                f"    queue depth: mean "
+                f"{sum(depths) / len(depths):.1f}, max {max(depths)}"
+            )
     return lines
 
 
@@ -238,6 +272,10 @@ class ClusterReport:
     #: (schedule, per-crash downtime/recovery metrics, hit-rate
     #: timeline); None when no fault injector was attached.
     faults: Optional[Dict[str, Any]] = None
+    #: :meth:`repro.serve.ServeReport.to_dict` payload (offered/achieved
+    #: rate, latency percentiles, shed count, queue-depth timeline);
+    #: None when the replay was offline (no ``serve`` block).
+    serve: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -255,6 +293,9 @@ class ClusterReport:
             ),
             "faults": (
                 dict(self.faults) if self.faults is not None else None
+            ),
+            "serve": (
+                dict(self.serve) if self.serve is not None else None
             ),
         }
 
@@ -300,6 +341,16 @@ class Cluster:
         # Per-key round-robin counters for the object API (the compiled
         # replay keeps its own array-based counters).
         self._spread: Dict[object, int] = {}
+        # Object-API routing memos: each key's ring position (live-set
+        # independent, hashed at most once per cluster) and per-live-set
+        # successor columns -- the same tables the bulk
+        # RoutingPlan/LiveRouter machinery routes compiled traces with.
+        self._key_positions: Dict[object, int] = {}
+        self._successor_columns: Dict[Tuple[bool, ...], np.ndarray] = {}
+        # Object-API request counter; with a rebalancer attached every
+        # ``epoch_requests``-th call to process()/process_batch() hands
+        # control to the rebalancer, like the replay loops do.
+        self._object_requests = 0
 
     @property
     def shards(self) -> int:
@@ -343,22 +394,390 @@ class Cluster:
 
     # ------------------------------------------------------------------
 
+    def _route_mask(self) -> Tuple[bool, ...]:
+        """The live mask routing sees.
+
+        ``failover`` masks crashed shards out of the successor walk;
+        ``miss-through`` (and no injector at all) keeps the all-live
+        walk and lets dead shards swallow their requests as tagged
+        misses -- the same split the replay loops make.
+        """
+        injector = self.fault_injector
+        if injector is not None and injector.policy == "failover":
+            return tuple(bool(flag) for flag in injector.live)
+        return (True,) * len(self.servers)
+
+    def _successor_column(self, mask: Tuple[bool, ...]) -> np.ndarray:
+        """Per ring position, the replica row under ``mask``.
+
+        Memoized per live set, exactly like the columns
+        :class:`~repro.cluster.routing.LiveRouter` builds for the bulk
+        failover replay; the object API shares them so repeat requests
+        never re-walk the ring. Rows have ``min(replication, alive)``
+        entries (the tables clamp).
+        """
+        column = self._successor_columns.get(mask)
+        if column is None:
+            if all(mask):
+                table = self.ring.successor_table(self.replication)
+            else:
+                table = self.ring.live_successor_table(self.replication, mask)
+            column = np.asarray(table, dtype=np.int64)
+            self._successor_columns[mask] = column
+        return column
+
+    def _position_of(self, key: object) -> int:
+        position = self._key_positions.get(key)
+        if position is None:
+            position = self._key_positions[key] = self.ring.position_for(key)
+        return position
+
     def route(self, key: object) -> int:
         """Shard index serving the next request for ``key``.
 
         With ``replication == 1`` this is the ring's primary; otherwise
-        the key's requests round-robin across its replica set.
+        the key's requests round-robin across its replica set. Each key
+        is hashed at most once per cluster: its ring position is
+        memoized and looked up in the per-live-set successor columns the
+        bulk routing plans already use, so a repeat request costs two
+        dict hits instead of a hash plus a ring walk.
         """
+        replicas = self._successor_column(self._route_mask())[
+            self._position_of(key)
+        ]
         if self.replication == 1:
-            return self.ring.shard_for(key)
-        replicas = self.ring.shards_for(key, self.replication)
+            return int(replicas[0])
         turn = self._spread.get(key, 0)
         self._spread[key] = turn + 1
-        return replicas[turn % len(replicas)]
+        return int(replicas[turn % len(replicas)])
 
-    def process(self, request: Request):
-        """Route one request to its shard (object API)."""
-        return self.servers[self.route(request.key)].process(request)
+    def _after_object_requests(self, count: int) -> None:
+        """Advance the object-API request counter; with a rebalancer
+        attached, fire the epoch barrier exactly where the replay loops
+        would (after every ``epoch_requests``-th request). Callers that
+        batch must split at epoch boundaries before calling this."""
+        self._object_requests += count
+        rebalancer = self.rebalancer
+        if rebalancer is not None:
+            epoch = rebalancer.config.epoch_requests
+            if epoch and self._object_requests % epoch == 0:
+                rebalancer.on_epoch()
+
+    def process(self, request: Request) -> AccessOutcome:
+        """Route one request to its shard (object API).
+
+        This is the per-request bit-exactness oracle
+        :meth:`process_batch` is proven against. With a fault injector
+        attached, a request routed to a dead shard (the ``miss-through``
+        policy; ``failover`` routing never picks one) is recorded on
+        that shard's registry as a tagged dead miss without reaching an
+        engine. With a rebalancer attached, every ``epoch_requests``-th
+        object-API request hands control to the rebalancer.
+        """
+        shard = self.route(request.key)
+        server = self.servers[shard]
+        injector = self.fault_injector
+        if injector is not None and not injector.live[shard]:
+            if request.app not in server.engines:
+                raise ConfigurationError(
+                    f"request for unknown app {request.app!r}"
+                )
+            outcome = AccessOutcome(
+                hit=False, app=request.app, op=request.op, dead=True
+            )
+            server.stats.record(outcome)
+        else:
+            outcome = server.process(request)
+        self._after_object_requests(1)
+        return outcome
+
+    # -- plan-backed batch object API ----------------------------------
+
+    def process_batch(
+        self,
+        keys: Sequence[object],
+        ops: Union[str, Sequence[object]],
+        value_sizes: Union[int, Sequence[int]],
+        apps: Union[str, Sequence[str]],
+        key_sizes: Union[None, int, Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Process many object-API requests in one vectorized pass.
+
+        The serving hot path: routes the whole batch with the same bulk
+        primitives the compiled replay uses (one vectorized hash +
+        ``searchsorted`` for keys not yet memoized, precomputed
+        successor columns, occurrence-index replica turns), then replays
+        per-(shard, app) runs through ``process_fast`` with bulk stats
+        flushes. Returns one packed outcome code per request (see
+        :func:`repro.cache.stats.pack_outcome`), in request order.
+
+        Bit-identical to calling :meth:`process` per request -- down to
+        per-shard per-(app, class) counters, replica round-robin state,
+        rebalance epoch barriers (the batch splits at epoch boundaries
+        mid-batch) and fault handling -- except that per-request
+        observers never fire; the property tests pin the parity down.
+
+        ``ops`` entries are ``"get"``/``"set"``/``"delete"`` or their
+        integer codes; ``ops``, ``value_sizes``, ``apps`` and
+        ``key_sizes`` may each be a scalar broadcast across the batch.
+        ``key_sizes`` defaults to each key's string length.
+        """
+        count = len(keys)
+        op_column = self._batch_ops(ops, count)
+        app_names, app_column = self._batch_apps(apps, count)
+        engines = self.servers[0].engines
+        for name in app_names:
+            if name not in engines:
+                raise ConfigurationError(f"request for unknown app {name!r}")
+        class_column, chunk_column, item_column = self._batch_classes(
+            keys, value_sizes, key_sizes, count
+        )
+        shard_column = self._route_batch(keys, count)
+        out = np.empty(count, dtype=np.int64)
+        rebalancer = self.rebalancer
+        epoch = (
+            rebalancer.config.epoch_requests if rebalancer is not None else 0
+        )
+        start = 0
+        while start < count:
+            stop = count
+            if epoch:
+                into_epoch = self._object_requests % epoch
+                stop = min(count, start + epoch - into_epoch)
+            self._process_batch_window(
+                keys,
+                op_column,
+                class_column,
+                chunk_column,
+                item_column,
+                app_names,
+                app_column,
+                shard_column,
+                out,
+                start,
+                stop,
+            )
+            self._after_object_requests(stop - start)
+            start = stop
+        return out
+
+    def _batch_ops(
+        self, ops: Union[str, Sequence[object]], count: int
+    ) -> np.ndarray:
+        if isinstance(ops, (str, int)):
+            ops = [ops] * count
+        if len(ops) != count:
+            raise ConfigurationError(
+                f"process_batch got {count} key(s) but {len(ops)} op(s)"
+            )
+        column = np.empty(count, dtype=np.int64)
+        for i, op in enumerate(ops):
+            if isinstance(op, str):
+                code = OP_CODES.get(op)
+                if code is None:
+                    raise ConfigurationError(f"unknown op {op!r}")
+            else:
+                code = int(op)
+                if not 0 <= code < len(OP_CODES):
+                    raise ConfigurationError(f"unknown op code {op!r}")
+            column[i] = code
+        return column
+
+    def _batch_apps(
+        self, apps: Union[str, Sequence[str]], count: int
+    ) -> Tuple[List[str], np.ndarray]:
+        if isinstance(apps, str):
+            return [apps], np.zeros(count, dtype=np.int64)
+        if len(apps) != count:
+            raise ConfigurationError(
+                f"process_batch got {count} key(s) but {len(apps)} app(s)"
+            )
+        ids: Dict[str, int] = {}
+        names: List[str] = []
+        column = np.empty(count, dtype=np.int64)
+        for i, app in enumerate(apps):
+            app_id = ids.get(app)
+            if app_id is None:
+                app_id = ids[app] = len(names)
+                names.append(app)
+            column[i] = app_id
+        return names, column
+
+    def _batch_classes(
+        self,
+        keys: Sequence[object],
+        value_sizes: Union[int, Sequence[int]],
+        key_sizes: Union[None, int, Sequence[int]],
+        count: int,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized slab classification, mirroring
+        :meth:`~repro.cache.slabs.SlabGeometry.class_for_size`'s
+        ``bisect_left`` (and its :class:`CacheError` contract) exactly."""
+        value_column = np.asarray(value_sizes, dtype=np.int64)
+        if value_column.ndim == 0:
+            value_column = np.full(count, int(value_column), dtype=np.int64)
+        elif len(value_column) != count:
+            raise ConfigurationError(
+                f"process_batch got {count} key(s) but "
+                f"{len(value_column)} value size(s)"
+            )
+        if np.any(value_column < 0):
+            raise ConfigurationError("value sizes must be >= 0")
+        if key_sizes is None:
+            key_column = np.fromiter(
+                (len(str(key)) for key in keys), dtype=np.int64, count=count
+            )
+        else:
+            key_column = np.asarray(key_sizes, dtype=np.int64)
+            if key_column.ndim == 0:
+                key_column = np.full(count, int(key_column), dtype=np.int64)
+            elif len(key_column) != count:
+                raise ConfigurationError(
+                    f"process_batch got {count} key(s) but "
+                    f"{len(key_column)} key size(s)"
+                )
+        item_column = key_column + value_column + ITEM_OVERHEAD_BYTES
+        ladder = np.asarray(self.geometry.chunk_sizes, dtype=np.int64)
+        class_column = np.searchsorted(ladder, item_column, side="left")
+        oversized = class_column >= len(ladder)
+        if np.any(oversized):
+            worst = int(item_column[oversized].max())
+            raise CacheError(
+                f"item of {worst}B exceeds largest chunk {int(ladder[-1])}B"
+            )
+        return class_column, ladder[class_column], item_column
+
+    def _route_batch(self, keys: Sequence[object], count: int) -> np.ndarray:
+        """Shard per request, resolved in bulk.
+
+        Keys already routed through :meth:`route` (or an earlier batch)
+        reuse their memoized ring positions; the rest are hashed in one
+        vectorized pass. Replica turns are each key's memoized counter
+        plus its occurrence index within the batch -- exactly the
+        sequence per-request :meth:`route` calls would have produced --
+        and the counters advance past the batch.
+        """
+        column = self._successor_column(self._route_mask())
+        unique_ids: Dict[object, int] = {}
+        unique_keys: List[object] = []
+        key_ids = np.empty(count, dtype=np.int64)
+        for i, key in enumerate(keys):
+            key_id = unique_ids.get(key)
+            if key_id is None:
+                key_id = unique_ids[key] = len(unique_keys)
+                unique_keys.append(key)
+            key_ids[i] = key_id
+        memo = self._key_positions
+        unique_positions = np.empty(len(unique_keys), dtype=np.int64)
+        missing: List[int] = []
+        for key_id, key in enumerate(unique_keys):
+            position = memo.get(key)
+            if position is None:
+                missing.append(key_id)
+            else:
+                unique_positions[key_id] = position
+        if missing:
+            missing_keys = [unique_keys[key_id] for key_id in missing]
+            if all(isinstance(key, str) for key in missing_keys):
+                tokens, _ = self.ring.token_table()
+                token_column = np.asarray(tokens, dtype=np.uint64)
+                hashes = hash_keys_u64(missing_keys, salt=self.ring.seed)
+                found = np.searchsorted(
+                    token_column, hashes, side="right"
+                ) % len(token_column)
+                positions_found = found.tolist()
+            else:  # exotic keys: scalar fallback
+                positions_found = [
+                    self.ring.position_for(key) for key in missing_keys
+                ]
+            for key_id, position in zip(missing, positions_found):
+                unique_positions[key_id] = position
+                memo[unique_keys[key_id]] = position
+        positions = unique_positions[key_ids]
+        if self.replication == 1:
+            return column[positions, 0]
+        spread = self._spread
+        base = np.fromiter(
+            (spread.get(key, 0) for key in unique_keys),
+            dtype=np.int64,
+            count=len(unique_keys),
+        )
+        turns = occurrence_index(key_ids) + base[key_ids]
+        occurrences = np.bincount(key_ids, minlength=len(unique_keys))
+        for key_id, key in enumerate(unique_keys):
+            spread[key] = int(base[key_id] + occurrences[key_id])
+        return column[positions, turns % column.shape[1]]
+
+    def _process_batch_window(
+        self,
+        keys: Sequence[object],
+        op_column: np.ndarray,
+        class_column: np.ndarray,
+        chunk_column: np.ndarray,
+        item_column: np.ndarray,
+        app_names: List[str],
+        app_column: np.ndarray,
+        shard_column: np.ndarray,
+        out: np.ndarray,
+        start: int,
+        stop: int,
+    ) -> None:
+        """Process batch positions ``[start, stop)`` as per-(shard, app)
+        runs -- the :meth:`_replay_window` pattern, plus a per-request
+        outcome column. Requests for a dead shard (``miss-through``)
+        record tagged dead misses and never reach an engine."""
+        num_apps = len(app_names)
+        window = shard_column[start:stop] * num_apps + app_column[start:stop]
+        order = np.argsort(window, kind="stable")
+        sorted_runs = window[order]
+        run_bounds = np.flatnonzero(sorted_runs[1:] != sorted_runs[:-1]) + 1
+        run_starts = np.concatenate(([0], run_bounds))
+        run_stops = np.concatenate((run_bounds, [len(sorted_runs)]))
+        injector = self.fault_injector
+        live = injector.live if injector is not None else None
+        for run_start, run_stop in zip(run_starts, run_stops):
+            if run_start == run_stop:
+                continue  # empty window
+            shard, app_id = divmod(int(sorted_runs[run_start]), num_apps)
+            picks = order[run_start:run_stop]
+            if start:
+                picks = picks + start
+            server = self.servers[shard]
+            app = app_names[app_id]
+            record_bulk = server.stats.record_code_bulk
+            if live is not None and not live[shard]:
+                out[picks] = OUTCOME_DEAD
+                run_ops, op_counts = np.unique(
+                    op_column[picks], return_counts=True
+                )
+                for op, op_count in zip(
+                    run_ops.tolist(), op_counts.tolist()
+                ):
+                    record_bulk(app, op, OUTCOME_DEAD, op_count)
+                continue
+            engine = server.engines[app]
+            process = engine.process_fast
+            codes = np.empty(len(picks), dtype=np.int64)
+            counts: Dict[int, int] = {}
+            position = 0
+            for pick, op, class_index, chunk, nbytes in zip(
+                picks.tolist(),
+                op_column[picks].tolist(),
+                class_column[picks].tolist(),
+                chunk_column[picks].tolist(),
+                item_column[picks].tolist(),
+            ):
+                code = process(keys[pick], op, class_index, chunk, nbytes)
+                codes[position] = code
+                position += 1
+                packed = (code << 2) | op
+                try:
+                    counts[packed] += 1
+                except KeyError:
+                    counts[packed] = 1
+            out[picks] = codes
+            for packed, packed_count in counts.items():
+                record_bulk(app, packed & 3, packed >> 2, packed_count)
 
     def replay_compiled(
         self, trace, plan: Optional[RoutingPlan] = None

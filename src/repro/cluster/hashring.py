@@ -59,13 +59,20 @@ class HashRing:
 
     # ------------------------------------------------------------------
 
+    def position_for(self, key: object) -> int:
+        """The ring position ``key``'s hash bisects to.
+
+        An index into the rows of :meth:`token_table` /
+        :meth:`successor_table` / :meth:`live_successor_table`, so
+        callers that route many keys can hash each key once and reuse
+        the precomputed tables across live sets.
+        """
+        token = stable_hash_u64(key, salt=self.seed)
+        return bisect_right(self._tokens, token) % len(self._tokens)
+
     def shard_for(self, key: object) -> int:
         """The shard owning ``key`` (its primary)."""
-        token = stable_hash_u64(key, salt=self.seed)
-        idx = bisect_right(self._tokens, token)
-        if idx == len(self._tokens):
-            idx = 0
-        return self._owners[idx]
+        return self._owners[self.position_for(key)]
 
     def shards_for(self, key: object, count: int) -> List[int]:
         """The first ``count`` distinct shards clockwise of ``key``.

@@ -84,6 +84,30 @@ def _print_listing() -> None:
         "    miss-through counts dead-shard requests as misses; requires "
         "a cluster block"
     )
+    print(
+        "  serve: rate, duration_s, arrivals (poisson|fixed), "
+        "backpressure (queue|shed),"
+    )
+    print(
+        "    connections, queue_depth, max_batch, transport (memory|tcp); "
+        "requires a cluster"
+    )
+    print(
+        "    block, incompatible with faults. Serves the trace live "
+        "through the asyncio"
+    )
+    print(
+        "    memcached-style server (open-loop load, latency "
+        "percentiles, shed counts);"
+    )
+    print(
+        "    'queue' blocks readers when the request queue fills, "
+        "'shed' answers"
+    )
+    print(
+        "    SERVER_ERROR busy. Standalone entry point: "
+        "python -m repro.serve (repro-serve)"
+    )
 
 
 def _load_spec(target: str) -> dict:

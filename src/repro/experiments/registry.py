@@ -9,6 +9,7 @@ from repro.experiments import (
     cluster_faults,
     cluster_rebalance,
     cluster_scaling,
+    cluster_serve,
     fig1_hrc,
     fig2_solver,
     fig3_cliff,
@@ -50,6 +51,7 @@ REGISTRY: Dict[str, Runner] = {
     "cluster_scaling": cluster_scaling.run,
     "cluster_rebalance": cluster_rebalance.run,
     "cluster_faults": cluster_faults.run,
+    "cluster_serve": cluster_serve.run,
 }
 
 

@@ -1,0 +1,7 @@
+"""``python -m repro.serve`` -> the ``repro-serve`` CLI."""
+
+import sys
+
+from repro.serve.cli import main
+
+sys.exit(main())

@@ -1,0 +1,197 @@
+"""``repro-serve``: the live-serving entry point.
+
+Two modes::
+
+    # Measure: spin up the in-process server, drive it open-loop,
+    # print the serve report (and the cluster hit rates it produced):
+    python -m repro.serve --workload zipf --shards 4 --rate 5000 \
+        --duration 1.0 --transport memory
+
+    # Listen: serve a cluster over loopback TCP until interrupted
+    # (talk to it with nc/telnet: get/set/delete/stats/quit):
+    python -m repro.serve --listen 127.0.0.1:11311 --shards 4
+
+Configuration mistakes exit with status 2 and a one-line message,
+matching ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from typing import List, Optional
+
+from repro.common.errors import ConfigurationError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve a simulated cache cluster over the wire.",
+    )
+    parser.add_argument("--workload", default="zipf")
+    parser.add_argument("--scheme", default="default")
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--replication", type=int, default=1)
+    parser.add_argument(
+        "--rebalance-epoch",
+        type=int,
+        default=0,
+        metavar="N",
+        help="attach a load-policy rebalancer every N requests (0 = off)",
+    )
+    parser.add_argument("--rate", type=float, default=2_000.0)
+    parser.add_argument("--duration", type=float, default=1.0)
+    parser.add_argument(
+        "--arrivals", choices=("poisson", "fixed"), default="poisson"
+    )
+    parser.add_argument(
+        "--backpressure", choices=("queue", "shed"), default="queue"
+    )
+    parser.add_argument("--connections", type=int, default=4)
+    parser.add_argument("--queue-depth", type=int, default=1024)
+    parser.add_argument("--max-batch", type=int, default=256)
+    parser.add_argument(
+        "--transport", choices=("memory", "tcp"), default="memory"
+    )
+    parser.add_argument(
+        "--per-request",
+        action="store_true",
+        help="pin the server to the per-request oracle path (baseline)",
+    )
+    parser.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        default=None,
+        help="serve loopback TCP forever instead of running a "
+        "measurement (port 0 picks a free port)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    return parser
+
+
+def _build_cluster(args):
+    from repro.sim import Scenario, load_workload
+    from repro.sim.runner import build_cluster
+
+    scenario = Scenario(
+        workload=args.workload,
+        scheme=args.scheme,
+        scale=args.scale,
+        seed=args.seed,
+        cluster={
+            "shards": args.shards,
+            "replication": args.replication,
+        },
+        rebalance=(
+            {"epoch_requests": args.rebalance_epoch, "policy": "load"}
+            if args.rebalance_epoch
+            else None
+        ),
+    )
+    trace = load_workload(
+        scenario.workload, scale=scenario.scale, seed=scenario.seed
+    )
+    cluster = build_cluster(scenario, trace)
+    if scenario.rebalance is not None:
+        from repro.cluster import RebalanceConfig, Rebalancer
+
+        cluster.attach_rebalancer(
+            Rebalancer(
+                cluster,
+                RebalanceConfig.from_dict(scenario.rebalance),
+                seed=scenario.seed,
+            )
+        )
+    return cluster, trace
+
+
+def _run_measurement(args) -> int:
+    from repro.serve.harness import ServeConfig, run_serve
+
+    cluster, trace = _build_cluster(args)
+    config = ServeConfig(
+        rate=args.rate,
+        duration_s=args.duration,
+        arrivals=args.arrivals,
+        backpressure=args.backpressure,
+        connections=args.connections,
+        queue_depth=args.queue_depth,
+        max_batch=args.max_batch,
+        transport=args.transport,
+        per_request=args.per_request,
+    )
+    report = run_serve(cluster, trace.compiled, config, seed=args.seed)
+    payload = report.to_dict()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    from repro.cluster.cluster import render_cluster_report
+
+    cluster_payload = cluster.report().to_dict()
+    cluster_payload["serve"] = payload
+    print(f"served {args.workload} on {args.shards} shard(s):")
+    for line in render_cluster_report(cluster_payload):
+        print(line)
+    return 0
+
+
+def _run_listener(args) -> int:
+    from repro.serve.server import CacheServerProcess
+    from repro.serve.service import CacheService
+
+    host, _, port_text = args.listen.rpartition(":")
+    if not host:
+        raise ConfigurationError(
+            f"--listen wants HOST:PORT, got {args.listen!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ConfigurationError(
+            f"--listen wants a numeric port, got {port_text!r}"
+        )
+    cluster, _ = _build_cluster(args)
+
+    async def serve_forever() -> None:
+        server = CacheServerProcess(
+            CacheService(cluster),
+            backpressure=args.backpressure,
+            queue_depth=args.queue_depth,
+            max_batch=args.max_batch,
+        )
+        bound_host, bound_port = await server.start_tcp(host, port)
+        print(f"serving on {bound_host}:{bound_port} (Ctrl-C stops)")
+        sys.stdout.flush()
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(serve_forever())
+    except KeyboardInterrupt:
+        print("stopped")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.listen is not None:
+            return _run_listener(args)
+        return _run_measurement(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,217 @@
+"""The serve harness: config block, one-call runner, report shape.
+
+:class:`ServeConfig` is the serializable shape of a scenario's
+``serve`` block; :func:`run_serve` spins up the in-process server
+(memory transport or loopback TCP), replays the workload's compiled
+trace open-loop through the :class:`~repro.serve.loadgen.LoadGenerator`
+and returns a :class:`ServeReport` whose ``to_dict`` payload is exactly
+what :func:`repro.cluster.cluster.render_cluster_report` renders as the
+``serve`` section.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.serve.loadgen import (
+    ARRIVAL_MODES,
+    LoadGenerator,
+    LoadResult,
+    commands_from_trace,
+)
+from repro.serve.server import (
+    BACKPRESSURE_POLICIES,
+    DEFAULT_MAX_BATCH,
+    DEFAULT_QUEUE_DEPTH,
+    CacheServerProcess,
+    MemoryClient,
+    TCPClient,
+)
+from repro.serve.service import CacheService
+
+TRANSPORTS = ("memory", "tcp")
+
+#: Most distinct trace commands prepared up front; the generator cycles.
+MAX_PREPARED_COMMANDS = 20_000
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """The serializable shape of a scenario's ``serve`` block."""
+
+    rate: float = 2_000.0
+    duration_s: float = 1.0
+    arrivals: str = "poisson"
+    backpressure: str = "queue"
+    connections: int = 4
+    queue_depth: int = DEFAULT_QUEUE_DEPTH
+    max_batch: int = DEFAULT_MAX_BATCH
+    transport: str = "memory"
+    #: Pin the worker to the per-request oracle path (benchmark
+    #: baseline); the batch path is the default and the product.
+    per_request: bool = False
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ConfigurationError(f"rate must be > 0, got {self.rate}")
+        if self.duration_s <= 0:
+            raise ConfigurationError(
+                f"duration_s must be > 0, got {self.duration_s}"
+            )
+        if self.arrivals not in ARRIVAL_MODES:
+            raise ConfigurationError(
+                f"arrivals must be one of {ARRIVAL_MODES}, "
+                f"got {self.arrivals!r}"
+            )
+        if self.backpressure not in BACKPRESSURE_POLICIES:
+            raise ConfigurationError(
+                f"backpressure must be one of {BACKPRESSURE_POLICIES}, "
+                f"got {self.backpressure!r}"
+            )
+        if self.connections < 1:
+            raise ConfigurationError(
+                f"connections must be >= 1, got {self.connections}"
+            )
+        if self.queue_depth < 1:
+            raise ConfigurationError(
+                f"queue_depth must be >= 1, got {self.queue_depth}"
+            )
+        if self.max_batch < 1:
+            raise ConfigurationError(
+                f"max_batch must be >= 1, got {self.max_batch}"
+            )
+        if self.transport not in TRANSPORTS:
+            raise ConfigurationError(
+                f"transport must be one of {TRANSPORTS}, "
+                f"got {self.transport!r}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rate": self.rate,
+            "duration_s": self.duration_s,
+            "arrivals": self.arrivals,
+            "backpressure": self.backpressure,
+            "connections": self.connections,
+            "queue_depth": self.queue_depth,
+            "max_batch": self.max_batch,
+            "transport": self.transport,
+            "per_request": self.per_request,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Optional[Dict[str, Any]]) -> "ServeConfig":
+        if payload is None:
+            return cls()
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"serve block must be a mapping, got {type(payload).__name__}"
+            )
+        known = {
+            "rate", "duration_s", "arrivals", "backpressure",
+            "connections", "queue_depth", "max_batch", "transport",
+            "per_request",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown serve fields: {', '.join(sorted(unknown))}"
+            )
+        return cls(**payload)
+
+
+@dataclass
+class ServeReport:
+    """One serve run's measurements, renderer-shaped via ``to_dict``."""
+
+    config: ServeConfig
+    result: LoadResult
+    queue_depths: Any
+    batches: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "arrivals": self.config.arrivals,
+            "backpressure": self.config.backpressure,
+            "connections": self.config.connections,
+            "transport": self.config.transport,
+            "offered_rate": self.result.offered_rate,
+            "achieved_rate": self.result.achieved_rate,
+            "duration_s": self.config.duration_s,
+            "elapsed_s": self.result.elapsed_s,
+            "requests": self.result.issued,
+            "completed": self.result.completed,
+            "shed": self.result.shed,
+            "errors": self.result.errors,
+            "latency_ms": self.result.histogram.summary_ms(),
+            "queue_depth": {
+                "depths": list(self.queue_depths),
+                "batches": self.batches,
+            },
+        }
+
+
+def run_serve(
+    cluster, compiled, config: ServeConfig, seed: int = 0
+) -> ServeReport:
+    """Serve ``compiled``'s requests open-loop against ``cluster``.
+
+    Builds the service + server around the cluster, prepares the
+    trace's requests as wire commands, runs the generator at the
+    configured offered rate, and tears everything down. The cluster
+    keeps all state the run produced (counters, rebalance epochs), so
+    callers report on it afterwards exactly like an offline replay.
+    """
+    return asyncio.run(_run_serve(cluster, compiled, config, seed))
+
+
+async def _run_serve(
+    cluster, compiled, config: ServeConfig, seed: int
+) -> ServeReport:
+    service = CacheService(cluster)
+    server = CacheServerProcess(
+        service,
+        backpressure=config.backpressure,
+        queue_depth=config.queue_depth,
+        max_batch=config.max_batch,
+        per_request=config.per_request,
+    )
+    prepared = min(
+        MAX_PREPARED_COMMANDS,
+        max(1, round(config.rate * config.duration_s)),
+    )
+    work = commands_from_trace(compiled, limit=prepared)
+    generator = LoadGenerator(
+        rate=config.rate,
+        duration_s=config.duration_s,
+        arrivals=config.arrivals,
+        seed=seed,
+    )
+    tcp_clients = []
+    try:
+        if config.transport == "tcp":
+            host, port = await server.start_tcp()
+            for _ in range(config.connections):
+                client = TCPClient()
+                await client.connect(host, port)
+                tcp_clients.append(client)
+            clients = tcp_clients
+        else:
+            await server.start()
+            clients = [
+                MemoryClient(server) for _ in range(config.connections)
+            ]
+        result = await generator.run(clients, work)
+    finally:
+        for client in tcp_clients:
+            await client.close()
+        await server.close()
+    return ServeReport(
+        config=config,
+        result=result,
+        queue_depths=server.metrics.queue_depths,
+        batches=server.metrics.batches,
+    )

@@ -1,0 +1,253 @@
+"""The wire protocol: a minimal memcached-style text dialect, sans-IO.
+
+Commands (a subset of the memcached text protocol, CRLF-terminated)::
+
+    get <key> [<key> ...]
+    set <key> <flags> <exptime> <bytes> [noreply]\r\n<data block>
+    delete <key> [noreply]
+    stats
+    quit
+
+Responses follow memcached: ``VALUE <key> <flags> <bytes>`` + data +
+``END`` for gets, ``STORED`` / ``DELETED`` / ``NOT_FOUND``,
+``STAT <name> <value>`` + ``END`` for stats, and the three error
+shapes -- ``ERROR`` (unknown command), ``CLIENT_ERROR <msg>`` (a
+malformed request; the connection survives), ``SERVER_ERROR <msg>``
+(the server cannot serve it, e.g. ``SERVER_ERROR busy`` when an
+overloaded server sheds, or ``object too large for cache``).
+
+The parser is sans-IO -- feed it bytes, pull typed events -- so the
+asyncio server, the in-memory transport and the fuzz tests all drive
+the exact same code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+#: Memcached's key limit: at most 250 bytes, no whitespace or control
+#: characters.
+MAX_KEY_BYTES = 250
+#: Largest value accepted on the wire (memcached's classic 1 MB limit).
+MAX_VALUE_BYTES = 1 << 20
+#: Cap on one command line (a pipelined multi-get of ~250B keys).
+MAX_LINE_BYTES = 8192
+
+CRLF = b"\r\n"
+
+ERROR = b"ERROR\r\n"
+STORED = b"STORED\r\n"
+DELETED = b"DELETED\r\n"
+NOT_FOUND = b"NOT_FOUND\r\n"
+END = b"END\r\n"
+BUSY = b"SERVER_ERROR busy\r\n"
+
+
+def client_error(message: str) -> bytes:
+    return f"CLIENT_ERROR {message}\r\n".encode("ascii")
+
+
+def server_error(message: str) -> bytes:
+    return f"SERVER_ERROR {message}\r\n".encode("ascii")
+
+
+def encode_value(key: str, flags: int, data: bytes) -> bytes:
+    """One ``VALUE`` block of a get response (caller appends ``END``)."""
+    return (
+        f"VALUE {key} {flags} {len(data)}\r\n".encode("ascii") + data + CRLF
+    )
+
+
+def encode_stats(pairs: List[Tuple[str, object]]) -> bytes:
+    lines = [f"STAT {name} {value}\r\n" for name, value in pairs]
+    return "".join(lines).encode("ascii") + END
+
+
+def encode_command(command: "Command") -> bytes:
+    """The client side: a :class:`Command` back to wire bytes."""
+    suffix = " noreply" if command.noreply else ""
+    if command.op == "get":
+        return f"get {' '.join(command.keys)}\r\n".encode("ascii")
+    if command.op == "set":
+        header = (
+            f"set {command.keys[0]} {command.flags} 0 "
+            f"{len(command.data)}{suffix}\r\n"
+        ).encode("ascii")
+        return header + command.data + CRLF
+    if command.op == "delete":
+        return f"delete {command.keys[0]}{suffix}\r\n".encode("ascii")
+    if command.op in ("stats", "quit"):
+        return f"{command.op}\r\n".encode("ascii")
+    raise ValueError(f"cannot encode op {command.op!r}")
+
+
+@dataclass
+class Command:
+    """One parsed request.
+
+    ``op`` is ``get``/``set``/``delete``/``stats``/``quit``; ``keys``
+    holds one key for set/delete and one-or-more for get; ``data`` is
+    the set payload.
+    """
+
+    op: str
+    keys: List[str] = field(default_factory=list)
+    flags: int = 0
+    data: bytes = b""
+    noreply: bool = False
+
+
+@dataclass
+class ProtocolEvent:
+    """What :meth:`ProtocolParser.next_event` hands the server.
+
+    Exactly one of ``command`` / ``response`` is set: a well-formed
+    command, or the error bytes to write for a malformed one (the
+    parser already resynchronized; keep reading).
+    """
+
+    command: Optional[Command] = None
+    response: Optional[bytes] = None
+
+
+def _valid_key(key: str) -> bool:
+    if not key or len(key) > MAX_KEY_BYTES:
+        return False
+    return all(33 <= ord(ch) <= 126 for ch in key)
+
+
+class ProtocolParser:
+    """Incremental parser over a byte stream.
+
+    ``feed`` appends bytes; ``next_event`` returns the next
+    :class:`ProtocolEvent`, or None when more bytes are needed.
+    Malformed input produces error-response events and resynchronizes
+    at the next line, so one bad command never poisons the connection.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        #: A ``set`` header waiting for its data block.
+        self._pending: Optional[Command] = None
+        self._pending_size = 0
+
+    def feed(self, data: bytes) -> None:
+        self._buffer.extend(data)
+
+    def next_event(self) -> Optional[ProtocolEvent]:
+        if self._pending is not None:
+            return self._read_data_block()
+        line = self._read_line()
+        if line is None:
+            return None
+        if line == b"":
+            # Bare CRLF between commands: memcached answers ERROR.
+            return ProtocolEvent(response=ERROR)
+        try:
+            text = line.decode("ascii")
+        except UnicodeDecodeError:
+            return ProtocolEvent(response=client_error("malformed request"))
+        parts = text.split()
+        if not parts:
+            return ProtocolEvent(response=ERROR)
+        op = parts[0].lower()
+        if op == "get" or op == "gets":
+            return self._parse_get(parts)
+        if op == "set":
+            return self._parse_set(parts)
+        if op == "delete":
+            return self._parse_delete(parts)
+        if op == "stats":
+            return ProtocolEvent(command=Command(op="stats"))
+        if op == "quit":
+            return ProtocolEvent(command=Command(op="quit"))
+        return ProtocolEvent(response=ERROR)
+
+    # ------------------------------------------------------------------
+
+    def _read_line(self) -> Optional[bytes]:
+        index = self._buffer.find(b"\n")
+        if index < 0:
+            if len(self._buffer) > MAX_LINE_BYTES:
+                # Unterminated garbage: drop it rather than buffer
+                # without bound; the next line starts clean.
+                self._buffer.clear()
+                return b"\x00overlong"  # unparseable -> ERROR below
+            return None
+        line = bytes(self._buffer[:index])
+        del self._buffer[: index + 1]
+        return line[:-1] if line.endswith(b"\r") else line
+
+    def _parse_get(self, parts: List[str]) -> ProtocolEvent:
+        keys = parts[1:]
+        if not keys:
+            return ProtocolEvent(response=ERROR)
+        for key in keys:
+            if not _valid_key(key):
+                return ProtocolEvent(response=client_error("bad key"))
+        return ProtocolEvent(command=Command(op="get", keys=keys))
+
+    def _parse_set(self, parts: List[str]) -> ProtocolEvent:
+        noreply = False
+        if parts and parts[-1] == "noreply":
+            noreply = True
+            parts = parts[:-1]
+        if len(parts) != 5:
+            return ProtocolEvent(
+                response=client_error("bad command line format")
+            )
+        _, key, flags, exptime, nbytes = parts
+        if not _valid_key(key):
+            return ProtocolEvent(response=client_error("bad key"))
+        try:
+            flags_value = int(flags)
+            int(exptime)  # accepted, ignored (no TTLs yet)
+            size = int(nbytes)
+        except ValueError:
+            return ProtocolEvent(
+                response=client_error("bad command line format")
+            )
+        if size < 0 or size > MAX_VALUE_BYTES:
+            return ProtocolEvent(
+                response=server_error("object too large for cache")
+            )
+        self._pending = Command(
+            op="set", keys=[key], flags=flags_value, noreply=noreply
+        )
+        self._pending_size = size
+        return self.next_event()
+
+    def _read_data_block(self) -> Optional[ProtocolEvent]:
+        needed = self._pending_size + len(CRLF)
+        if len(self._buffer) < needed:
+            return None
+        command = self._pending
+        self._pending = None
+        data = bytes(self._buffer[: self._pending_size])
+        trailer = bytes(self._buffer[self._pending_size : needed])
+        del self._buffer[:needed]
+        if trailer != CRLF:
+            # Resynchronize at the next line.
+            index = self._buffer.find(b"\n")
+            if index >= 0:
+                del self._buffer[: index + 1]
+            return ProtocolEvent(response=client_error("bad data chunk"))
+        command.data = data
+        return ProtocolEvent(command=command)
+
+    def _parse_delete(self, parts: List[str]) -> ProtocolEvent:
+        noreply = False
+        if parts and parts[-1] == "noreply":
+            noreply = True
+            parts = parts[:-1]
+        if len(parts) != 2:
+            return ProtocolEvent(
+                response=client_error("bad command line format")
+            )
+        key = parts[1]
+        if not _valid_key(key):
+            return ProtocolEvent(response=client_error("bad key"))
+        return ProtocolEvent(
+            command=Command(op="delete", keys=[key], noreply=noreply)
+        )

@@ -1,0 +1,427 @@
+"""The asyncio cache server: pipelined connections, one shared queue.
+
+Every connection parses its byte stream with the sans-IO
+:class:`~repro.serve.protocol.ProtocolParser` and submits commands into
+one bounded server-wide queue. A single worker coroutine drains the
+queue -- up to ``max_batch`` commands per wake, across connections --
+and executes the whole drain as one
+:meth:`~repro.serve.service.CacheService.execute` call, so the server's
+hot path is :meth:`~repro.cluster.Cluster.process_batch`, not
+per-request routing.
+
+Overload behavior is explicit and configurable:
+
+``backpressure="shed"``
+    A full queue answers ``SERVER_ERROR busy`` immediately; the reader
+    keeps reading. Open-loop clients see the shed in-band.
+``backpressure="queue"``
+    A full queue blocks the submitting reader coroutine until a slot
+    frees, pushing the backlog into the kernel socket buffers (and from
+    there onto the client) -- closed-loop backpressure.
+
+Responses are delivered through per-command futures; each connection
+writes its futures back in submission order, so pipelining never
+reorders responses. A connection that dies mid-pipeline stops reading
+and writing, but its already-queued commands still drain through the
+worker -- queue slots are freed by execution, never leaked.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.serve.protocol import (
+    BUSY,
+    Command,
+    ProtocolParser,
+    server_error,
+)
+from repro.serve.service import CacheService
+
+#: Default bound on the shared request queue.
+DEFAULT_QUEUE_DEPTH = 1024
+#: Most commands one worker wake batches into a single execute call.
+DEFAULT_MAX_BATCH = 256
+
+BACKPRESSURE_POLICIES = ("queue", "shed")
+
+
+class ServerMetrics:
+    """Counters the harness reports: shed, totals, queue-depth samples."""
+
+    __slots__ = ("requests", "shed", "batches", "queue_depths")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.shed = 0
+        self.batches = 0
+        #: Queue depth sampled at each worker wake (commands pending
+        #: including the batch about to run) -- the overload timeline.
+        self.queue_depths: List[int] = []
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "shed": self.shed,
+            "batches": self.batches,
+            "depths": list(self.queue_depths),
+        }
+
+
+class _Job:
+    __slots__ = ("command", "future")
+
+    def __init__(self, command: Command, future: "asyncio.Future[bytes]"):
+        self.command = command
+        self.future = future
+
+
+class CacheServerProcess:
+    """One in-process server: a service, a queue, a worker, N transports.
+
+    Use :meth:`start` (worker only; in-memory clients connect with
+    :class:`MemoryClient`) or :meth:`start_tcp` (worker plus a loopback
+    TCP listener). :meth:`close` is idempotent.
+    """
+
+    def __init__(
+        self,
+        service: CacheService,
+        backpressure: str = "queue",
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        per_request: bool = False,
+    ) -> None:
+        if backpressure not in BACKPRESSURE_POLICIES:
+            raise ConfigurationError(
+                f"backpressure must be one of {BACKPRESSURE_POLICIES}, "
+                f"got {backpressure!r}"
+            )
+        if queue_depth < 1:
+            raise ConfigurationError("queue_depth must be >= 1")
+        if max_batch < 1:
+            raise ConfigurationError("max_batch must be >= 1")
+        self.service = service
+        self.backpressure = backpressure
+        self.max_batch = max_batch
+        self.metrics = ServerMetrics()
+        #: True pins the worker to the per-request oracle path -- the
+        #: benchmark's baseline, never the default.
+        self.per_request = per_request
+        self._queue: "asyncio.Queue[_Job]" = asyncio.Queue(
+            maxsize=queue_depth
+        )
+        self._worker: Optional[asyncio.Task] = None
+        self._tcp_server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        if self._worker is None:
+            self._worker = asyncio.create_task(self._work_loop())
+
+    async def start_tcp(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> Tuple[str, int]:
+        """Listen on loopback; returns the bound ``(host, port)``."""
+        await self.start()
+        self._tcp_server = await asyncio.start_server(
+            self.handle_connection, host, port
+        )
+        sockname = self._tcp_server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def close(self) -> None:
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+            self._tcp_server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        if self._worker is not None:
+            await self._queue.join()
+            self._worker.cancel()
+            try:
+                await self._worker
+            except asyncio.CancelledError:
+                pass
+            self._worker = None
+
+    # -- submission ----------------------------------------------------
+
+    async def submit(self, command: Command) -> "asyncio.Future[bytes]":
+        """Queue one command; the returned future resolves to response
+        bytes. Under ``shed`` a full queue resolves it to ``BUSY`` at
+        once; under ``queue`` this call blocks until a slot frees."""
+        future: "asyncio.Future[bytes]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        job = _Job(command, future)
+        self.metrics.requests += 1
+        if self.backpressure == "shed":
+            try:
+                self._queue.put_nowait(job)
+            except asyncio.QueueFull:
+                self.metrics.shed += 1
+                future.set_result(BUSY)
+        else:
+            await self._queue.put(job)
+        return future
+
+    async def _work_loop(self) -> None:
+        while True:
+            job = await self._queue.get()
+            jobs = [job]
+            while len(jobs) < self.max_batch:
+                try:
+                    jobs.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            self.metrics.batches += 1
+            self.metrics.queue_depths.append(
+                len(jobs) + self._queue.qsize()
+            )
+            commands = [item.command for item in jobs]
+            try:
+                if self.per_request:
+                    responses = self.service.execute_per_request(commands)
+                else:
+                    responses = self.service.execute(commands)
+            except Exception:  # the server must never die mid-batch
+                responses = [server_error("internal error")] * len(jobs)
+            for item, response in zip(jobs, responses):
+                if not item.future.done():
+                    item.future.set_result(response)
+            for _ in jobs:
+                self._queue.task_done()
+            # One cooperative yield per batch: get_nowait() above never
+            # awaits, so back-to-back full batches would otherwise
+            # starve the readers feeding the queue.
+            await asyncio.sleep(0)
+
+    # -- TCP connection handling ---------------------------------------
+
+    async def handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            await self._serve_streams(reader, writer)
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+
+    async def _serve_streams(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        parser = ProtocolParser()
+        outbox: "asyncio.Queue[Optional[asyncio.Future[bytes]]]" = (
+            asyncio.Queue()
+        )
+        writer_task = asyncio.create_task(self._write_loop(outbox, writer))
+        loop = asyncio.get_running_loop()
+        try:
+            quitting = False
+            while not quitting:
+                try:
+                    data = await reader.read(65536)
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    break
+                if not data:
+                    break
+                parser.feed(data)
+                while True:
+                    event = parser.next_event()
+                    if event is None:
+                        break
+                    if event.response is not None:
+                        ready: "asyncio.Future[bytes]" = loop.create_future()
+                        ready.set_result(event.response)
+                        await outbox.put(ready)
+                        continue
+                    command = event.command
+                    if command.op == "quit":
+                        quitting = True
+                        break
+                    future = await self.submit(command)
+                    if not command.noreply:
+                        await outbox.put(future)
+        finally:
+            await outbox.put(None)
+            try:
+                await writer_task
+            except asyncio.CancelledError:
+                pass
+
+    @staticmethod
+    async def _write_loop(
+        outbox: "asyncio.Queue[Optional[asyncio.Future[bytes]]]",
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                future = await outbox.get()
+                if future is None:
+                    break
+                data = await future
+                if data:
+                    writer.write(data)
+                    await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass  # client went away; futures still resolve, nothing leaks
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+
+class MemoryClient:
+    """A socketless connection: wire bytes in, wire bytes out.
+
+    Runs the exact same parser and queue/worker path as a TCP
+    connection -- only the transport is skipped -- so harness runs are
+    deterministic and fast while staying protocol-faithful.
+    """
+
+    def __init__(self, server: CacheServerProcess) -> None:
+        self._server = server
+        self._parser = ProtocolParser()
+
+    async def request(self, data: bytes, op: str = "") -> bytes:
+        """Send one or more pipelined commands; await all responses.
+
+        ``op`` is accepted for client-interface parity with
+        :class:`TCPClient` and ignored -- the parser frames commands
+        itself here, no response framing needed."""
+        self._parser.feed(data)
+        futures: List["asyncio.Future[bytes]"] = []
+        loop = asyncio.get_running_loop()
+        while True:
+            event = self._parser.next_event()
+            if event is None:
+                break
+            if event.response is not None:
+                ready: "asyncio.Future[bytes]" = loop.create_future()
+                ready.set_result(event.response)
+                futures.append(ready)
+                continue
+            command = event.command
+            if command.op == "quit":
+                continue  # nothing to close on a memory transport
+            future = await self._server.submit(command)
+            if not command.noreply:
+                futures.append(future)
+        chunks = [await future for future in futures]
+        return b"".join(chunks)
+
+
+class TCPClient:
+    """A pipelining loopback client with in-order response framing.
+
+    Requests write immediately; a reader task frames responses off the
+    stream in FIFO order and resolves each request's future, so many
+    requests can be in flight on one connection (open-loop load needs
+    that).
+    """
+
+    def __init__(self) -> None:
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._pending: "asyncio.Queue[Tuple[str, asyncio.Future[bytes]]]" = (
+            asyncio.Queue()
+        )
+        self._reader_task: Optional[asyncio.Task] = None
+
+    async def connect(self, host: str, port: int) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            host, port
+        )
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+
+    async def request(self, data: bytes, op: str = "get") -> bytes:
+        """Send pre-encoded command bytes; await its framed response.
+
+        ``op`` tells the framer what shape to read (``get``/``stats``
+        end at ``END``; everything else is one line). One command per
+        call; pipelining comes from overlapping calls.
+        """
+        assert self._writer is not None
+        future: "asyncio.Future[bytes]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        await self._pending.put((op, future))
+        self._writer.write(data)
+        await self._writer.drain()
+        return await future
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                op, future = await self._pending.get()
+                response = await self._read_response(op)
+                if not future.done():
+                    future.set_result(response)
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+            OSError,
+        ):
+            # Connection gone: fail every waiter so requests unblock.
+            while True:
+                try:
+                    _, future = self._pending.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if not future.done():
+                    future.set_exception(ConnectionResetError())
+
+    async def _read_response(self, op: str) -> bytes:
+        assert self._reader is not None
+        out = bytearray()
+        multi = op in ("get", "gets", "stats")
+        while True:
+            line = await self._reader.readuntil(b"\n")
+            out += line
+            stripped = line.rstrip(b"\r\n")
+            if stripped.startswith(b"VALUE "):
+                # VALUE <key> <flags> <bytes>: the data block may
+                # contain anything, including "END"; read it by size.
+                size = int(stripped.split()[3])
+                out += await self._reader.readexactly(size + 2)
+                continue
+            if multi:
+                if stripped == b"END" or stripped.startswith(
+                    (b"ERROR", b"CLIENT_ERROR", b"SERVER_ERROR")
+                ):
+                    return bytes(out)
+                continue  # STAT lines keep coming
+            return bytes(out)

@@ -194,6 +194,47 @@ def replay_on_cluster(
     return cluster, stats, elapsed
 
 
+def serve_on_cluster(
+    scenario: Scenario, trace
+) -> Tuple["Cluster", StatsRegistry, float, Dict[str, object]]:
+    """Stand up the live server over the scenario's cluster and drive
+    it open-loop per the ``serve`` block.
+
+    Returns ``(cluster, aggregated_stats, elapsed_seconds,
+    serve_payload)``. The cluster is built exactly like a replay
+    (same budgets, seeds and optional rebalancer), but requests flow
+    through the asyncio server's batch hot path
+    (:meth:`~repro.cluster.Cluster.process_batch`) instead of the
+    offline replay loops, so the stats afterwards reflect whatever the
+    open-loop schedule actually delivered -- shed requests never reach
+    the cluster.
+    """
+    from repro.cluster import RebalanceConfig, Rebalancer
+    from repro.serve import ServeConfig, run_serve
+
+    chosen = _chosen_apps(scenario, trace)
+    cluster = build_cluster(scenario, trace)
+    if scenario.rebalance is not None:
+        rebalance = RebalanceConfig.from_dict(scenario.rebalance)
+        if rebalance.enabled:
+            cluster.attach_rebalancer(
+                Rebalancer(cluster, rebalance, seed=scenario.seed)
+            )
+    compiled = getattr(trace, "compiled", None)
+    if compiled is None:
+        raise ConfigurationError(
+            f"workload {scenario.workload!r} has no compiled trace; "
+            "serve scenarios need one"
+        )
+    if set(chosen) != set(trace.app_names):
+        compiled = compiled.select_apps(chosen)
+    config = ServeConfig.from_dict(scenario.serve)
+    started = time.perf_counter()
+    report = run_serve(cluster, compiled, config, seed=scenario.seed)
+    elapsed = time.perf_counter() - started
+    return cluster, cluster.aggregate_stats(), elapsed, report.to_dict()
+
+
 def replay_on_trace(
     scenario: Scenario,
     trace,
@@ -254,7 +295,11 @@ def run_scenario(
     carries the aggregate ``cluster_report``. Adding a ``rebalance``
     block turns the per-shard split online: budgets drift toward the
     neediest shards every epoch, and the cluster report's ``rebalance``
-    section records the per-epoch allocation timeline.
+    section records the per-epoch allocation timeline. A ``serve``
+    block replaces the offline replay entirely: the trace is served
+    live through the asyncio server (see :mod:`repro.serve`) and the
+    cluster report grows a ``serve`` section (latency percentiles,
+    shed count, queue-depth timeline).
     """
     trace = load_workload(
         scenario.workload,
@@ -263,13 +308,19 @@ def run_scenario(
         **scenario.workload_params,
     )
     cluster = None
+    serve_payload = None
     if scenario.cluster is not None:
         if observer is not None:
             raise ConfigurationError(
                 "per-request observers are not supported for cluster "
                 "scenarios; drop the 'cluster' block or the observer"
             )
-        cluster, stats, elapsed = replay_on_cluster(scenario, trace)
+        if scenario.serve is not None:
+            cluster, stats, elapsed, serve_payload = serve_on_cluster(
+                scenario, trace
+            )
+        else:
+            cluster, stats, elapsed = replay_on_cluster(scenario, trace)
         server = None
     else:
         server, stats, elapsed = replay_on_trace(
@@ -280,6 +331,13 @@ def run_scenario(
     )
     total = stats.total
     requests = total.gets + total.sets
+    cluster_report = None
+    if cluster is not None:
+        # Pass the merged registry the replay already built; report()
+        # would otherwise re-merge every shard's counters.
+        report = cluster.report(stats=stats)
+        report.serve = serve_payload
+        cluster_report = report.to_dict()
     result = ScenarioResult(
         scenario=scenario,
         hit_rates={app: stats.app_hit_rate(app) for app in apps},
@@ -289,13 +347,7 @@ def run_scenario(
         elapsed_seconds=elapsed,
         requests_per_sec=requests / elapsed if elapsed > 0 else 0.0,
         budgets={app: _resolve_budget(scenario, trace, app) for app in apps},
-        # Pass the merged registry replay_compiled already built;
-        # report() would otherwise re-merge every shard's counters.
-        cluster_report=(
-            cluster.report(stats=stats).to_dict()
-            if cluster is not None
-            else None
-        ),
+        cluster_report=cluster_report,
     )
     if baseline is not None:
         result.miss_reductions = result.miss_reductions_vs(baseline)

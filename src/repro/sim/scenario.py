@@ -85,6 +85,18 @@ class Scenario:
             (``miss-through``); restarts rebuild it cold. See
             :mod:`repro.cluster.faults`. An empty ``events`` list leaves
             the replay bit-identical to the fault-free paths.
+        serve: Optional live-serving block (``{"rate": R,
+            "duration_s": D, "arrivals": "poisson"|"fixed",
+            "backpressure": "queue"|"shed", "connections": C,
+            "queue_depth": Q, "max_batch": B,
+            "transport": "memory"|"tcp"}``); requires a ``cluster``
+            block, incompatible with ``faults``. Instead of replaying
+            the trace offline, the scenario stands up the asyncio
+            memcached-style server (see :mod:`repro.serve`) and drives
+            it open-loop at ``rate`` req/s for ``duration_s`` seconds;
+            the result's cluster report grows a ``serve`` section with
+            latency percentiles, shed counts and the queue-depth
+            timeline.
         name: Optional label (sweeps generate one per grid point).
     """
 
@@ -101,6 +113,7 @@ class Scenario:
     cluster: Optional[Dict[str, Any]] = None
     rebalance: Optional[Dict[str, Any]] = None
     faults: Optional[Dict[str, Any]] = None
+    serve: Optional[Dict[str, Any]] = None
     name: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -152,6 +165,20 @@ class Scenario:
                     "the only shard would leave no live shard"
                 )
             self.faults = schedule.to_dict()
+        if self.serve is not None:
+            if self.cluster is None:
+                raise ConfigurationError(
+                    "serve needs a cluster block: the live server fronts "
+                    "a shard cluster"
+                )
+            if self.faults is not None and self.faults["events"]:
+                raise ConfigurationError(
+                    "serve and faults cannot be combined yet: the live "
+                    "server has no wall-clock fault schedule"
+                )
+            from repro.serve import ServeConfig
+
+            self.serve = ServeConfig.from_dict(self.serve).to_dict()
 
     # ------------------------------------------------------------------
     # Serialization
@@ -184,6 +211,9 @@ class Scenario:
             "faults": (
                 dict(self.faults) if self.faults is not None else None
             ),
+            "serve": (
+                dict(self.serve) if self.serve is not None else None
+            ),
             "name": self.name,
         }
 
@@ -196,7 +226,7 @@ class Scenario:
         known = {
             "scheme", "workload", "policy", "scale", "seed", "apps",
             "budgets", "plans", "workload_params", "engine_overrides",
-            "cluster", "rebalance", "faults", "name",
+            "cluster", "rebalance", "faults", "serve", "name",
         }
         unknown = set(payload) - known
         if unknown:
@@ -255,6 +285,8 @@ class Scenario:
                 f"/faults-{self.faults['policy']}"
                 f"x{len(self.faults['events'])}"
             )
+        if self.serve is not None:
+            label += f"/serve-{self.serve['rate']:g}"
         return label
 
 

@@ -1,0 +1,251 @@
+"""Wire-protocol parser: framing, validation, resynchronization, fuzz.
+
+The parser is the server's first line of defense: every malformed input
+must come back as an ``ERROR``/``CLIENT_ERROR`` event (the connection
+survives) and never as an exception -- the fuzz properties feed it
+arbitrary bytes and arbitrary re-chunkings to pin that down.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.protocol import (
+    BUSY,
+    CRLF,
+    END,
+    ERROR,
+    MAX_KEY_BYTES,
+    MAX_LINE_BYTES,
+    MAX_VALUE_BYTES,
+    Command,
+    ProtocolParser,
+    client_error,
+    encode_command,
+    encode_stats,
+    encode_value,
+    server_error,
+)
+
+
+def drain(parser):
+    events = []
+    while True:
+        event = parser.next_event()
+        if event is None:
+            return events
+        events.append(event)
+
+
+def parse_all(data: bytes):
+    parser = ProtocolParser()
+    parser.feed(data)
+    return drain(parser)
+
+
+class TestWellFormed:
+    def test_get_single_and_multi(self):
+        (single,) = parse_all(b"get foo\r\n")
+        assert single.command.op == "get"
+        assert single.command.keys == ["foo"]
+        (multi,) = parse_all(b"get a b c\r\n")
+        assert multi.command.keys == ["a", "b", "c"]
+
+    def test_set_with_data_block(self):
+        (event,) = parse_all(b"set k 7 0 5\r\nhello\r\n")
+        command = event.command
+        assert command.op == "set"
+        assert command.keys == ["k"]
+        assert command.flags == 7
+        assert command.data == b"hello"
+        assert not command.noreply
+
+    def test_set_noreply(self):
+        (event,) = parse_all(b"set k 0 0 2 noreply\r\nhi\r\n")
+        assert event.command.noreply
+
+    def test_set_data_may_contain_command_text(self):
+        payload = b"END\r\nget x\r\nquit"
+        data = b"set k 0 0 %d\r\n%s\r\n" % (len(payload), payload)
+        (event,) = parse_all(data)
+        assert event.command.data == payload
+
+    def test_delete_and_controls(self):
+        events = parse_all(b"delete k\r\nstats\r\nquit\r\n")
+        assert [e.command.op for e in events] == ["delete", "stats", "quit"]
+
+    def test_lf_only_lines_accepted(self):
+        (event,) = parse_all(b"get foo\n")
+        assert event.command.keys == ["foo"]
+
+    def test_pipelined_commands(self):
+        events = parse_all(
+            b"set a 0 0 1\r\nx\r\nget a b\r\ndelete a noreply\r\n"
+        )
+        assert [e.command.op for e in events] == ["set", "get", "delete"]
+        assert events[2].command.noreply
+
+
+class TestMalformed:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            b"frobnicate\r\n",
+            b"\r\n",
+            b"get\r\n",
+            b"SETT k 0 0 1\r\n",
+        ],
+    )
+    def test_unknown_or_empty_is_error(self, line):
+        (event,) = parse_all(line)
+        assert event.response == ERROR
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            b"set k 0 0\r\n",
+            b"set k x 0 5\r\n",
+            b"set k 0 0 five\r\n",
+            b"delete\r\n",
+            b"delete a b\r\n",
+        ],
+    )
+    def test_bad_shapes_are_client_errors(self, line):
+        (event,) = parse_all(line)
+        assert event.response.startswith(b"CLIENT_ERROR")
+
+    def test_oversized_key_rejected(self):
+        long_key = b"k" * (MAX_KEY_BYTES + 1)
+        (event,) = parse_all(b"get " + long_key + b"\r\n")
+        assert event.response == client_error("bad key")
+        (event,) = parse_all(b"set " + long_key + b" 0 0 1\r\n")
+        assert event.response == client_error("bad key")
+
+    def test_key_with_control_bytes_rejected(self):
+        (event,) = parse_all("get k\x01y\r\n".encode("latin-1"))
+        assert event.response is not None
+
+    def test_oversized_value_rejected_without_buffering(self):
+        size = MAX_VALUE_BYTES + 1
+        (event,) = parse_all(f"set k 0 0 {size}\r\n".encode())
+        assert event.response == server_error("object too large for cache")
+
+    def test_negative_size_rejected(self):
+        (event,) = parse_all(b"set k 0 0 -5\r\n")
+        assert event.response == server_error("object too large for cache")
+
+    def test_bad_data_trailer_resynchronizes(self):
+        parser = ProtocolParser()
+        parser.feed(b"set k 0 0 2\r\nhiXXtrailing\r\nget ok\r\n")
+        events = drain(parser)
+        assert events[0].response == client_error("bad data chunk")
+        assert events[1].command.keys == ["ok"]
+
+    def test_overlong_line_dropped_then_recovers(self):
+        parser = ProtocolParser()
+        parser.feed(b"g" * (MAX_LINE_BYTES + 10))
+        (event,) = drain(parser)
+        assert event.response == ERROR
+        parser.feed(b"get ok\r\n")
+        (event,) = drain(parser)
+        assert event.command.keys == ["ok"]
+
+    def test_non_ascii_command_line(self):
+        (event,) = parse_all("get café\r\n".encode("utf-8"))
+        assert event.response is not None
+
+
+class TestIncrementalFeeding:
+    def test_byte_at_a_time(self):
+        parser = ProtocolParser()
+        events = []
+        for byte in b"set k 1 0 3\r\nabc\r\nget k\r\n":
+            parser.feed(bytes([byte]))
+            events.extend(drain(parser))
+        assert [e.command.op for e in events] == ["set", "get"]
+        assert events[0].command.data == b"abc"
+
+    @settings(max_examples=50, deadline=None)
+    @given(cut=st.integers(min_value=0, max_value=40))
+    def test_any_split_point_parses_identically(self, cut):
+        stream = b"set key 3 0 4\r\nwxyz\r\nget key other\r\ndelete key\r\n"
+        cut = min(cut, len(stream))
+        parser = ProtocolParser()
+        parser.feed(stream[:cut])
+        events = drain(parser)
+        parser.feed(stream[cut:])
+        events += drain(parser)
+        ops = [e.command.op for e in events]
+        assert ops == ["set", "get", "delete"]
+
+
+class TestFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(data=st.binary(max_size=400))
+    def test_arbitrary_bytes_never_raise(self, data):
+        parser = ProtocolParser()
+        parser.feed(data)
+        for _ in range(500):
+            event = parser.next_event()
+            if event is None:
+                break
+            assert (event.command is None) != (event.response is None)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        chunks=st.lists(st.binary(max_size=60), max_size=12),
+        tail=st.sampled_from([b"get sentinel\r\n", b"stats\r\n"]),
+    )
+    def test_garbage_then_valid_command_still_parses(self, chunks, tail):
+        """Whatever junk came before, a newline boundary plus a valid
+        command must produce that command -- the connection survives."""
+        parser = ProtocolParser()
+        for chunk in chunks:
+            # Newline-free junk, so the tail starts on a line boundary
+            # (a stray "\n" would otherwise glue junk onto our command).
+            parser.feed(chunk.replace(b"\n", b"x").replace(b"\r", b"y"))
+        drain(parser)
+        parser.feed(b"\r\n")  # terminate any dangling partial line
+        drain(parser)
+        parser.feed(tail)
+        events = [e for e in drain(parser) if e.command is not None]
+        assert any(
+            e.command.op in ("get", "stats") for e in events
+        ), "valid command after garbage must parse"
+
+
+class TestEncoders:
+    def test_encode_value_round_trip_shape(self):
+        block = encode_value("k", 9, b"abc")
+        assert block == b"VALUE k 9 3\r\nabc\r\n"
+
+    def test_encode_stats_ends_with_end(self):
+        block = encode_stats([("a", 1), ("b", "x")])
+        assert block == b"STAT a 1\r\nSTAT b x\r\n" + END
+
+    def test_busy_is_a_server_error(self):
+        assert BUSY == server_error("busy")
+
+    @pytest.mark.parametrize(
+        "command",
+        [
+            Command(op="get", keys=["a", "b"]),
+            Command(op="set", keys=["k"], flags=3, data=b"v" + CRLF + b"w"),
+            Command(op="set", keys=["k"], data=b"", noreply=True),
+            Command(op="delete", keys=["k"], noreply=True),
+            Command(op="stats"),
+            Command(op="quit"),
+        ],
+    )
+    def test_encode_command_round_trips_through_parser(self, command):
+        (event,) = parse_all(encode_command(command))
+        parsed = event.command
+        assert parsed.op == command.op
+        assert parsed.keys == command.keys
+        assert parsed.data == command.data
+        assert parsed.noreply == command.noreply
+
+    def test_encode_unknown_op_raises(self):
+        with pytest.raises(ValueError):
+            encode_command(Command(op="flush"))
