@@ -15,7 +15,6 @@ import json
 import os
 from pathlib import Path
 
-import pytest
 
 from repro.sim import BENCH_SCALE, Scenario, Sweep
 

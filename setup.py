@@ -1,23 +1,13 @@
-"""Legacy setup shim.
+"""Legacy setup shim; all metadata lives in pyproject.toml.
 
 The environment this reproduction targets may lack the ``wheel`` package,
 which PEP 517 editable installs require; ``python setup.py develop`` (or
 ``pip install -e . --no-build-isolation``) then still works through this
 shim. Uninstalled checkouts run everything via ``PYTHONPATH=src`` and
 the ``python -m`` spellings (``python -m repro.experiments``,
-``python -m repro.serve``).
+``python -m repro.serve``, ``python -m repro.lint``).
 """
 
-from setuptools import find_packages, setup
+from setuptools import setup
 
-setup(
-    name="cliffhanger-repro",
-    package_dir={"": "src"},
-    packages=find_packages("src"),
-    entry_points={
-        "console_scripts": [
-            "repro-experiments=repro.experiments.cli:main",
-            "repro-serve=repro.serve.cli:main",
-        ]
-    },
-)
+setup()

@@ -21,14 +21,13 @@ from __future__ import annotations
 import abc
 from typing import Dict, List, Optional, Tuple
 
-from repro.common.errors import CacheError, ConfigurationError
+from repro.common.errors import ConfigurationError
 from repro.cache.policies import EvictionPolicy, make_policy
 from repro.cache.slabs import SlabGeometry
 from repro.cache.stats import (
     CLASS_SHIFT,
     EVICTED_SHIFT,
     OP_CODES,
-    OP_DELETE,
     OP_GET,
     OP_SET,
     OUTCOME_HIT,

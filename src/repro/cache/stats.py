@@ -266,7 +266,9 @@ class StatsRegistry:
             for counter in triple:
                 counter.evictions += evicted
 
-    def _make_triple(self, key: Tuple[str, Optional[int]]):
+    def _make_triple(
+        self, key: Tuple[str, Optional[int]]
+    ) -> Tuple["HitMissCounter", "HitMissCounter", "HitMissCounter"]:
         app = key[0]
         app_counter = self.by_app.get(app)
         if app_counter is None:

@@ -26,12 +26,16 @@ every ring parameter, so sweeps over schemes/budgets re-route nothing.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.common.errors import ConfigurationError, TraceFormatError
 from repro.common.hashing import _splitmix64, stable_hash_u64
+
+if TYPE_CHECKING:  # circular at runtime: compiled.py routes through us
+    from repro.cluster.hashring import HashRing
+    from repro.workloads.compiled import CompiledTrace, TraceCache
 
 #: Bump when the on-disk plan layout (or the routing math) changes;
 #: stale files are rebuilt.
@@ -131,7 +135,7 @@ class RoutingPlan:
     def __len__(self) -> int:
         return len(self.shard_ids)
 
-    def matches_ring(self, ring, replication: int) -> bool:
+    def matches_ring(self, ring: "HashRing", replication: int) -> bool:
         """Whether this plan was built for ``ring`` at ``replication``.
 
         Same-shape plans from differently-parameterized rings route
@@ -181,7 +185,7 @@ class RoutingPlan:
             )
 
 
-def ring_positions(trace, ring) -> np.ndarray:
+def ring_positions(trace: "CompiledTrace", ring: "HashRing") -> np.ndarray:
     """Per trace key, the ring position its hash bisects to.
 
     The shared first half of every bulk routing pass: one vectorized
@@ -206,7 +210,9 @@ def ring_positions(trace, ring) -> np.ndarray:
     )
 
 
-def build_routing_plan(trace, ring, replication: int = 1) -> RoutingPlan:
+def build_routing_plan(
+    trace: "CompiledTrace", ring: "HashRing", replication: int = 1
+) -> RoutingPlan:
     """Route every request of a compiled trace through ``ring`` at once.
 
     Bit-identical to routing the trace through
@@ -259,7 +265,13 @@ class LiveRouter:
     fault barriers).
     """
 
-    def __init__(self, trace, ring, replication: int, base_plan=None):
+    def __init__(
+        self,
+        trace: "CompiledTrace",
+        ring: "HashRing",
+        replication: int,
+        base_plan: Optional[RoutingPlan] = None,
+    ) -> None:
         self.ring = ring
         self.replication = min(max(replication, 1), ring.shards)
         self._trace = trace
@@ -309,7 +321,9 @@ class LiveRouter:
         return column
 
 
-def plan_cache_key(trace, ring, replication: int) -> str:
+def plan_cache_key(
+    trace: "CompiledTrace", ring: "HashRing", replication: int
+) -> str:
     """Cache key encoding everything the plan depends on: the routed key
     sequence (trace digest) and every ring/replication parameter."""
     return (
@@ -318,7 +332,12 @@ def plan_cache_key(trace, ring, replication: int) -> str:
     )
 
 
-def get_routing_plan(trace, ring, replication: int = 1, cache=None):
+def get_routing_plan(
+    trace: "CompiledTrace",
+    ring: "HashRing",
+    replication: int = 1,
+    cache: Optional["TraceCache"] = None,
+) -> RoutingPlan:
     """Fetch (or build and cache) the plan for ``(trace, ring)``.
 
     ``cache`` defaults to the process-wide

@@ -36,7 +36,7 @@ repartitioning is applied lazily on the next miss to avoid thrashing
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, NamedTuple, Optional, Tuple
+from typing import NamedTuple, Optional, Tuple
 
 from repro.allocation.talus import compute_ratio
 from repro.common.constants import (

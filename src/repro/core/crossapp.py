@@ -18,7 +18,7 @@ answers directly.
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.common.constants import (
     DEFAULT_CREDIT_BYTES,

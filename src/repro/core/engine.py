@@ -29,7 +29,7 @@ naturally (the standard trace-replay simplification).
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.common.constants import (
     DEFAULT_CREDIT_BYTES,

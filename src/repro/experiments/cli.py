@@ -40,16 +40,41 @@ from repro.sim import (
 )
 
 
+#: One-line notes rendered by ``--list``. The ``registry-doc-sync``
+#: lint rule cross-checks these tables against the @register_scheme /
+#: @register_workload decorators: every registered name must be
+#: documented here, and no note may outlive its registration.
+SCHEME_NOTES = {
+    "default": "slab FCFS (memcached-style first-come first-serve)",
+    "planned": "static per-class plan (Dynacache solver output)",
+    "lsm": "single global LRU over one log (no slab classes)",
+    "hill": "shadow-queue hill climbing across slab classes",
+    "cliff-only": "Talus-style cliff scaling, no hill climbing",
+    "hill-only": "Cliffhanger's climber without cliff scaling",
+    "cliffhanger": "full Cliffhanger: cliff scaling + hill climbing",
+}
+
+WORKLOAD_NOTES = {
+    "memcachier": "the paper's 20-app Memcachier-derived trace mix",
+    "zipf": "stationary per-app Zipf streams (alpha, working set)",
+    "facebook": "Facebook-style key/value size and popularity model",
+    "zipf-phases": "Zipf tenants whose alpha/working set shift in phases",
+    "flash-crowd": "Zipf tenants plus a time-windowed hot-key overlay",
+}
+
+
 def _print_listing() -> None:
     print("experiments:")
     for experiment_id in list_experiments():
         print(f"  {experiment_id}")
     print("schemes:")
     for scheme in list_schemes():
-        print(f"  {scheme}")
+        note = SCHEME_NOTES.get(scheme)
+        print(f"  {scheme}" + (f": {note}" if note else ""))
     print("workloads:")
     for workload in list_workloads():
-        print(f"  {workload}")
+        note = WORKLOAD_NOTES.get(workload)
+        print(f"  {workload}" + (f": {note}" if note else ""))
     print("scenario blocks:")
     print(
         "  cluster: shards, hash_seed, replication, virtual_nodes, "

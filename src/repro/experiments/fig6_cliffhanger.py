@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.experiments.common import ExperimentResult, miss_reduction
+from repro.experiments.common import ExperimentResult
 from repro.sim import FULL_SCALE, Scenario, load_workload, run_scenario
 
 

@@ -1,0 +1,163 @@
+"""General source-hygiene rules: asserts in library code and unused
+imports.
+
+``assert`` statements vanish under ``python -O``, so a library invariant
+guarded by one simply stops being checked in optimized runs; library
+code raises explicit exceptions instead (tests and benchmarks keep using
+``assert`` -- that is what pytest rewrites). Unused imports are the
+ruff/pyflakes overlap the suite enforces even where the external tools
+are not installed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.lint.engine import FileContext, Finding, Rule
+
+
+class NoAssertInSrcRule(Rule):
+    name = "no-assert-in-src"
+    summary = (
+        "no assert statements in src/ (they vanish under python -O); "
+        "raise an explicit error instead"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.is_src:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                yield Finding(
+                    ctx.display_path,
+                    node.lineno,
+                    self.name,
+                    "assert is compiled out under python -O; raise "
+                    "ConfigurationError/CacheError (or RuntimeError for "
+                    "internal invariants) instead",
+                )
+
+
+def _exported_names(tree: ast.Module) -> Set[str]:
+    """Names in ``__all__`` (string-literal list/tuple/set forms)."""
+    exported: Set[str] = set()
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                if isinstance(value, (ast.List, ast.Tuple, ast.Set)):
+                    for element in value.elts:
+                        if isinstance(element, ast.Constant) and isinstance(
+                            element.value, str
+                        ):
+                            exported.add(element.value)
+    return exported
+
+
+class UnusedImportRule(Rule):
+    name = "unused-import"
+    summary = (
+        "imported names must be used, re-exported via __all__, or live "
+        "in an __init__.py (package re-export surface)"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.path.name == "__init__.py":
+            # Package __init__ modules exist to re-export; __all__
+            # completeness is their own concern.
+            return
+        imported: Dict[str, Tuple[int, str]] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = (alias.asname or alias.name).split(".")[0]
+                    imported[local] = (node.lineno, alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                module = "." * node.level + (node.module or "")
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    if local == "annotations":
+                        continue
+                    imported[local] = (node.lineno, f"{module}.{alias.name}")
+        if not imported:
+            return
+        used: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Name):
+                used.add(node.id)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                annotations: List[ast.expr] = [
+                    arg.annotation
+                    for arg in (
+                        node.args.args
+                        + node.args.posonlyargs
+                        + node.args.kwonlyargs
+                        + [node.args.vararg, node.args.kwarg]
+                    )
+                    if arg is not None and arg.annotation is not None
+                ]
+                if node.returns is not None:
+                    annotations.append(node.returns)
+                used.update(_annotation_string_tokens(annotations))
+            elif isinstance(node, ast.AnnAssign):
+                used.update(_annotation_string_tokens([node.annotation]))
+        exported = _exported_names(ctx.tree)
+        for local, (line, origin) in sorted(
+            imported.items(), key=lambda item: item[1][0]
+        ):
+            if local in used or local in exported:
+                continue
+            yield Finding(
+                ctx.display_path,
+                line,
+                self.name,
+                f"imported name {local!r} (from {origin!r}) is never "
+                "used; remove it or re-export it via __all__",
+            )
+
+
+def _annotation_string_tokens(annotations: List[ast.expr]) -> Set[str]:
+    """Identifier tokens inside quoted forward references, e.g. the
+    ``asyncio`` in ``x: "asyncio.Future[bytes]"``. Only annotation
+    subtrees are scanned -- a docstring mentioning an imported name must
+    not mark it used."""
+    tokens: Set[str] = set()
+    for annotation in annotations:
+        for node in ast.walk(annotation):
+            if isinstance(node, ast.Constant) and isinstance(
+                node.value, str
+            ):
+                for token in _identifier_tokens(node.value):
+                    tokens.add(token)
+    return tokens
+
+
+def _identifier_tokens(text: str) -> List[str]:
+    """Identifier-shaped tokens in a short string (annotation forms)."""
+    if len(text) > 200:
+        return []
+    tokens: List[str] = []
+    current: List[str] = []
+    for char in text:
+        if char.isidentifier() if not current else (
+            char.isalnum() or char == "_"
+        ):
+            current.append(char)
+        else:
+            if current:
+                tokens.append("".join(current))
+                current = []
+    if current:
+        tokens.append("".join(current))
+    return tokens

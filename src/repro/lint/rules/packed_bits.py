@@ -1,0 +1,195 @@
+"""Packed outcome-code layout consistency.
+
+``repro.cache.stats`` packs (hit, shadow_hit, slab_class, dead,
+evicted) into one int; every engine, the cluster fault layer and the
+serving layer build or decode these codes. A mis-stacked bit corrupts
+per-(app, class) counters without crashing anything -- exactly the kind
+of silent parity breaker static analysis exists to catch. This rule
+evaluates the layout constants in ``cache/stats.py`` and checks:
+
+* every ``OUTCOME_*`` flag is a single bit and no two flags overlap;
+* the slab-class field (``CLASS_MASK << CLASS_SHIFT``) overlaps no flag;
+* the open-ended eviction count sits above everything
+  (``EVICTED_SHIFT`` clears every flag and the class field);
+* no other module re-defines the layout names (consumers must import
+  them from ``repro.cache.stats``, the single source of truth).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.lint.engine import FileContext, Finding, Project, Rule
+
+STATS_SUFFIX = "repro/cache/stats.py"
+
+_LAYOUT_NAMES = ("CLASS_SHIFT", "CLASS_MASK", "EVICTED_SHIFT")
+
+
+def _eval_int(node: ast.AST, env: Dict[str, int]) -> Optional[int]:
+    """Evaluate a constant integer expression (literals, named layout
+    constants, and the shift/mask operators the layout uses)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    if isinstance(node, ast.Name):
+        return env.get(node.id)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _eval_int(node.operand, env)
+        return -inner if inner is not None else None
+    if isinstance(node, ast.BinOp):
+        left = _eval_int(node.left, env)
+        right = _eval_int(node.right, env)
+        if left is None or right is None:
+            return None
+        op = node.op
+        if isinstance(op, ast.LShift):
+            return left << right
+        if isinstance(op, ast.RShift):
+            return left >> right
+        if isinstance(op, ast.BitOr):
+            return left | right
+        if isinstance(op, ast.BitAnd):
+            return left & right
+        if isinstance(op, ast.BitXor):
+            return left ^ right
+        if isinstance(op, ast.Add):
+            return left + right
+        if isinstance(op, ast.Sub):
+            return left - right
+        if isinstance(op, ast.Mult):
+            return left * right
+    return None
+
+
+def _layout_constants(
+    ctx: FileContext,
+) -> Tuple[Dict[str, Tuple[int, int]], Dict[str, int]]:
+    """(name -> (value, line)) for OUTCOME_*/layout names assigned at
+    module level, plus a plain evaluation environment."""
+    env: Dict[str, int] = {}
+    found: Dict[str, Tuple[int, int]] = {}
+    for node in ctx.tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        value = _eval_int(node.value, env)
+        if value is None:
+            continue
+        env[target.id] = value
+        if target.id.startswith("OUTCOME_") or target.id in _LAYOUT_NAMES:
+            found[target.id] = (value, node.lineno)
+    return found, env
+
+
+class PackedBitOverlapRule(Rule):
+    name = "packed-bit-overlap"
+    summary = (
+        "the OUTCOME_* flags and CLASS/EVICTED field layout in "
+        "cache/stats.py must not overlap, and no other module may "
+        "re-define the layout names"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        stats = project.find(STATS_SUFFIX)
+        if stats is not None:
+            yield from self._check_layout(stats)
+        for ctx in project.files:
+            if ctx is stats or not ctx.is_src:
+                continue
+            yield from self._check_redefinitions(ctx)
+
+    # ------------------------------------------------------------------
+
+    def _check_layout(self, ctx: FileContext) -> Iterable[Finding]:
+        constants, _env = _layout_constants(ctx)
+        flags: List[Tuple[str, int, int]] = [
+            (name, value, line)
+            for name, (value, line) in sorted(constants.items())
+            if name.startswith("OUTCOME_")
+        ]
+        for name, value, line in flags:
+            if value <= 0 or value & (value - 1):
+                yield Finding(
+                    ctx.display_path,
+                    line,
+                    self.name,
+                    f"{name} = {value:#x} is not a single flag bit",
+                )
+        for i, (name_a, value_a, _line_a) in enumerate(flags):
+            for name_b, value_b, line_b in flags[i + 1:]:
+                if value_a & value_b:
+                    yield Finding(
+                        ctx.display_path,
+                        line_b,
+                        self.name,
+                        f"{name_a} and {name_b} share bits "
+                        f"({value_a & value_b:#x})",
+                    )
+
+        class_field = None
+        if "CLASS_SHIFT" in constants and "CLASS_MASK" in constants:
+            shift, shift_line = constants["CLASS_SHIFT"]
+            mask, _ = constants["CLASS_MASK"]
+            class_field = mask << shift
+            for name, value, _line in flags:
+                if value & class_field:
+                    yield Finding(
+                        ctx.display_path,
+                        shift_line,
+                        self.name,
+                        f"slab-class field (CLASS_MASK << CLASS_SHIFT = "
+                        f"{class_field:#x}) overlaps flag {name}",
+                    )
+
+        if "EVICTED_SHIFT" in constants:
+            evicted_shift, line = constants["EVICTED_SHIFT"]
+            below = (1 << evicted_shift) - 1
+            occupied = 0
+            for _name, value, _line in flags:
+                occupied |= value
+            if class_field is not None:
+                occupied |= class_field
+            if occupied & ~below:
+                yield Finding(
+                    ctx.display_path,
+                    line,
+                    self.name,
+                    "eviction count (bits >= EVICTED_SHIFT = "
+                    f"{evicted_shift}) overlaps flag or class bits "
+                    f"({occupied & ~below:#x}); raise EVICTED_SHIFT",
+                )
+
+    def _check_redefinitions(self, ctx: FileContext) -> Iterable[Finding]:
+        imported_from_stats = {
+            local
+            for local, origin in ctx.import_paths.items()
+            if origin.startswith("repro.cache.stats.")
+        }
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                if not (
+                    name.startswith("OUTCOME_") or name in _LAYOUT_NAMES
+                ):
+                    continue
+                if name in imported_from_stats:
+                    message = (
+                        f"{name} is imported from repro.cache.stats but "
+                        "re-assigned here; the packed layout has one "
+                        "source of truth"
+                    )
+                else:
+                    message = (
+                        f"{name} re-defines a packed outcome layout name "
+                        "outside repro.cache.stats; import it instead"
+                    )
+                yield Finding(
+                    ctx.display_path, node.lineno, self.name, message
+                )

@@ -1,0 +1,290 @@
+"""Registry/documentation and scenario-schema consistency rules.
+
+Two cross-file invariants keep the data-driven surface honest:
+
+* every ``@register_scheme``/``@register_workload`` name must carry a
+  one-line note in the ``SCHEME_NOTES``/``WORKLOAD_NOTES`` tables that
+  ``python -m repro.experiments --list`` renders (and no note may
+  outlive its registration);
+* every serializable config dataclass must keep its field list, its
+  ``to_dict`` payload and its ``from_dict`` ``known``-fields set in
+  lock-step, so JSON round-trips cannot silently drop a field.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.engine import FileContext, Finding, Project, Rule
+
+CLI_SUFFIX = "repro/experiments/cli.py"
+
+_REGISTRARS = {
+    "register_scheme": "SCHEME_NOTES",
+    "register_workload": "WORKLOAD_NOTES",
+}
+
+
+def _decorator_registrations(
+    project: Project,
+) -> List[Tuple[str, str, str, int]]:
+    """(kind, name, path, line) for every registration decorator."""
+    registrations = []
+    for ctx in project.files:
+        if not ctx.is_src:
+            continue
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.ClassDef)):
+                continue
+            for decorator in node.decorator_list:
+                if not isinstance(decorator, ast.Call):
+                    continue
+                func = decorator.func
+                if isinstance(func, ast.Attribute):
+                    registrar = func.attr
+                elif isinstance(func, ast.Name):
+                    registrar = func.id
+                else:
+                    continue
+                if registrar not in _REGISTRARS:
+                    continue
+                if decorator.args and isinstance(
+                    decorator.args[0], ast.Constant
+                ):
+                    name = decorator.args[0].value
+                    if isinstance(name, str):
+                        registrations.append(
+                            (
+                                registrar,
+                                name,
+                                ctx.display_path,
+                                decorator.lineno,
+                            )
+                        )
+    return registrations
+
+
+def _notes_tables(ctx: FileContext) -> Dict[str, Dict[str, int]]:
+    """Table name -> {key: line} for the *_NOTES dict literals."""
+    tables: Dict[str, Dict[str, int]] = {}
+    for node in ctx.tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id in _REGISTRARS.values()
+                and isinstance(value, ast.Dict)
+            ):
+                keys = {}
+                for key in value.keys:
+                    if isinstance(key, ast.Constant) and isinstance(
+                        key.value, str
+                    ):
+                        keys[key.value] = key.lineno
+                tables[target.id] = keys
+    return tables
+
+
+class RegistryDocSyncRule(Rule):
+    name = "registry-doc-sync"
+    summary = (
+        "every @register_scheme/@register_workload name needs a note in "
+        "the --list tables (SCHEME_NOTES/WORKLOAD_NOTES in "
+        "experiments/cli.py), and no note may outlive its registration"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        cli = project.find(CLI_SUFFIX)
+        registrations = _decorator_registrations(project)
+        if cli is None:
+            return
+        tables = _notes_tables(cli)
+        for registrar, table_name in sorted(_REGISTRARS.items()):
+            if table_name not in tables:
+                yield Finding(
+                    cli.display_path,
+                    1,
+                    self.name,
+                    f"{table_name} table not found in {cli.display_path}; "
+                    f"--list cannot document @{registrar} entries",
+                )
+        documented: Dict[str, Dict[str, int]] = {
+            registrar: tables.get(table, {})
+            for registrar, table in _REGISTRARS.items()
+        }
+        seen: Dict[str, Set[str]] = {key: set() for key in _REGISTRARS}
+        for registrar, name, path, line in registrations:
+            seen[registrar].add(name)
+            if (
+                registrar in documented
+                and _REGISTRARS[registrar] in tables
+                and name not in documented[registrar]
+            ):
+                yield Finding(
+                    path,
+                    line,
+                    self.name,
+                    f"@{registrar}({name!r}) has no entry in "
+                    f"{_REGISTRARS[registrar]}; --list would not "
+                    "document it",
+                )
+        for registrar, table_name in _REGISTRARS.items():
+            for name, line in sorted(documented.get(registrar, {}).items()):
+                if name not in seen[registrar]:
+                    yield Finding(
+                        cli.display_path,
+                        line,
+                        self.name,
+                        f"{table_name} documents {name!r} but no "
+                        f"@{registrar} registers it",
+                    )
+
+
+def _dataclass_fields(node: ast.ClassDef) -> Dict[str, int]:
+    fields: Dict[str, int] = {}
+    for statement in node.body:
+        if not isinstance(statement, ast.AnnAssign):
+            continue
+        target = statement.target
+        if not isinstance(target, ast.Name) or target.id.startswith("_"):
+            continue
+        annotation = statement.annotation
+        if (
+            isinstance(annotation, ast.Subscript)
+            and isinstance(annotation.value, ast.Name)
+            and annotation.value.id == "ClassVar"
+        ):
+            continue
+        fields[target.id] = statement.lineno
+    return fields
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+    return False
+
+
+def _method(node: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for statement in node.body:
+        if isinstance(statement, ast.FunctionDef) and statement.name == name:
+            return statement
+    return None
+
+
+def _to_dict_keys(method: ast.FunctionDef) -> Optional[Dict[str, int]]:
+    """String keys of a ``return {...}`` dict literal, or None when the
+    method builds its payload some other way (then it is not statically
+    checkable and the rule skips it)."""
+    returns = [
+        statement
+        for statement in ast.walk(method)
+        if isinstance(statement, ast.Return)
+    ]
+    if len(returns) != 1 or not isinstance(returns[0].value, ast.Dict):
+        return None
+    keys: Dict[str, int] = {}
+    for key in returns[0].value.keys:
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            return None
+        keys[key.value] = key.lineno
+    return keys
+
+
+def _known_fields_set(method: ast.FunctionDef) -> Optional[Dict[str, int]]:
+    """The ``known = {...}`` string-set literal inside ``from_dict``."""
+    for statement in ast.walk(method):
+        if not isinstance(statement, ast.Assign):
+            continue
+        if len(statement.targets) != 1:
+            continue
+        target = statement.targets[0]
+        if not (isinstance(target, ast.Name) and target.id == "known"):
+            continue
+        if not isinstance(statement.value, ast.Set):
+            return None
+        names: Dict[str, int] = {}
+        for element in statement.value.elts:
+            if not (
+                isinstance(element, ast.Constant)
+                and isinstance(element.value, str)
+            ):
+                return None
+            names[element.value] = element.lineno
+        return names
+    return None
+
+
+class ScenarioSchemaSyncRule(Rule):
+    name = "scenario-schema-sync"
+    summary = (
+        "serializable dataclasses (to_dict + from_dict) must keep field "
+        "list, to_dict payload keys and from_dict 'known' set identical"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.is_src:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _is_dataclass(node):
+                continue
+            to_dict = _method(node, "to_dict")
+            from_dict = _method(node, "from_dict")
+            if to_dict is None or from_dict is None:
+                continue
+            fields = _dataclass_fields(node)
+            if not fields:
+                continue
+            keys = _to_dict_keys(to_dict)
+            if keys is not None:
+                for name, line in sorted(fields.items()):
+                    if name not in keys:
+                        yield Finding(
+                            ctx.display_path,
+                            line,
+                            self.name,
+                            f"{node.name}.{name} is a dataclass field but "
+                            "missing from to_dict(); round-trips drop it",
+                        )
+                for name, line in sorted(keys.items()):
+                    if name not in fields:
+                        yield Finding(
+                            ctx.display_path,
+                            line,
+                            self.name,
+                            f"{node.name}.to_dict() emits {name!r} which "
+                            "is not a dataclass field",
+                        )
+            known = _known_fields_set(from_dict)
+            if known is not None:
+                for name, line in sorted(fields.items()):
+                    if name not in known:
+                        yield Finding(
+                            ctx.display_path,
+                            line,
+                            self.name,
+                            f"{node.name}.{name} is missing from "
+                            "from_dict()'s known-fields set; valid specs "
+                            "would be rejected",
+                        )
+                for name, line in sorted(known.items()):
+                    if name not in fields:
+                        yield Finding(
+                            ctx.display_path,
+                            line,
+                            self.name,
+                            f"{node.name}.from_dict() accepts {name!r} "
+                            "which is not a dataclass field",
+                        )

@@ -372,7 +372,8 @@ class TCPClient:
         end at ``END``; everything else is one line). One command per
         call; pipelining comes from overlapping calls.
         """
-        assert self._writer is not None
+        if self._writer is None:
+            raise RuntimeError("request() before connect()")
         future: "asyncio.Future[bytes]" = (
             asyncio.get_running_loop().create_future()
         )
@@ -382,7 +383,8 @@ class TCPClient:
         return await future
 
     async def _read_loop(self) -> None:
-        assert self._reader is not None
+        if self._reader is None:
+            raise RuntimeError("_read_loop() before connect()")
         try:
             while True:
                 op, future = await self._pending.get()
@@ -405,7 +407,8 @@ class TCPClient:
                     future.set_exception(ConnectionResetError())
 
     async def _read_response(self, op: str) -> bytes:
-        assert self._reader is not None
+        if self._reader is None:
+            raise RuntimeError("_read_response() before connect()")
         out = bytearray()
         multi = op in ("get", "gets", "stats")
         while True:

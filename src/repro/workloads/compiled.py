@@ -42,7 +42,7 @@ from repro.common.constants import (
     ITEM_OVERHEAD_BYTES,
 )
 from repro.common.errors import TraceFormatError
-from repro.workloads.trace import OPS, Request
+from repro.workloads.trace import Request
 
 #: Bump when the on-disk layout changes; stale files are recompiled.
 _DISK_FORMAT_VERSION = 1

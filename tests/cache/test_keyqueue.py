@@ -1,7 +1,6 @@
 """Tests for KeyQueue and QueueChain, including the LRU-equivalence
 property the whole shadow-queue design rests on."""
 
-import random
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -1,7 +1,6 @@
 """Tests for the eviction policies: per-policy behaviour plus generic
 interface properties every policy must satisfy."""
 
-import random
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -2,7 +2,6 @@
 
 import collections
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.common.hashing import stable_hash_u64, unit_interval_hash

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.cache.server import CacheServer
 from repro.cache.slabs import SlabGeometry
 from repro.core.engine import CliffhangerEngine, HillClimbEngine
 from repro.workloads.trace import Request

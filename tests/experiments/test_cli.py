@@ -13,7 +13,6 @@ from __future__ import annotations
 import io
 import json
 
-import pytest
 
 from repro.experiments.cli import main
 

@@ -1,0 +1,24 @@
+"""Fixture: replay-path code that stays reproducible (no findings)."""
+
+import random
+import time
+
+import numpy as np
+
+
+def replay(requests: list, seed: int) -> list:
+    rng = random.Random(seed)
+    np_rng = np.random.default_rng(seed)
+    started = time.perf_counter()
+    order = list(requests)
+    rng.shuffle(order)
+    jitter = np_rng.random()
+    elapsed = time.perf_counter() - started
+    return [order, jitter, elapsed]
+
+
+def drain(pending: set) -> list:
+    drained = []
+    for key in sorted(pending):
+        drained.append(key)
+    return drained

@@ -1,0 +1,15 @@
+"""Fixture: a well-formed packed outcome layout (no findings)."""
+
+OUTCOME_HIT = 1
+OUTCOME_SHADOW_HIT = 2
+CLASS_SHIFT = 2
+CLASS_MASK = 0x7F
+OUTCOME_DEAD = 1 << 9
+EVICTED_SHIFT = 10
+
+
+def pack(hit: bool, slab_class: int) -> int:
+    code = (slab_class + 1) << CLASS_SHIFT
+    if hit:
+        code |= OUTCOME_HIT
+    return code

@@ -1,0 +1,16 @@
+"""Fixture: notes tables exactly matching the registrations."""
+
+SCHEME_NOTES = {
+    "documented-scheme": "registered and documented",
+}
+
+WORKLOAD_NOTES = {
+    "documented-workload": "registered and documented",
+}
+
+
+def _print_listing() -> None:
+    for name, note in sorted(SCHEME_NOTES.items()):
+        print(f"  {name}: {note}")
+    for name, note in sorted(WORKLOAD_NOTES.items()):
+        print(f"  {name}: {note}")

@@ -1,0 +1,27 @@
+"""Fixture: asyncio-hygienic serving code (no findings)."""
+
+import asyncio
+
+
+class Worker:
+    async def flush(self) -> None:
+        await asyncio.sleep(0)
+
+    async def run(self) -> None:
+        await asyncio.sleep(0.1)
+        reader, writer = await asyncio.open_connection("localhost", 11211)
+        await self.flush()
+        task = asyncio.get_running_loop().create_task(self.flush())
+        await task
+        writer.close()
+        await writer.wait_closed()
+        del reader
+
+
+async def main() -> None:
+    worker = Worker()
+    await worker.run()
+
+
+def schedule() -> None:
+    asyncio.run(main())

@@ -1,0 +1,13 @@
+"""Fixture: registered names that the notes tables document."""
+
+from repro.sim.registries import register_scheme, register_workload
+
+
+@register_scheme("documented-scheme")
+def build_scheme(app, budget_bytes, **context):
+    return None
+
+
+@register_workload("documented-workload")
+def build_workload(scale, seed, **params):
+    return None

@@ -1,0 +1,26 @@
+"""Fixture: serializable dataclass with field/to_dict/from_dict sync."""
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass
+class SyncedConfig:
+    shards: int = 1
+    replication: int = 1
+    hash_seed: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "shards": self.shards,
+            "replication": self.replication,
+            "hash_seed": self.hash_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SyncedConfig":
+        known = {"shards", "replication", "hash_seed"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown fields: {sorted(unknown)}")
+        return cls(**payload)

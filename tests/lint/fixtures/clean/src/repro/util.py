@@ -1,0 +1,9 @@
+"""Fixture: hygienic library code (no findings)."""
+
+import math
+
+
+def check_budget(budget: float) -> float:
+    if budget <= 0:
+        raise ValueError("budget must be positive")
+    return math.sqrt(budget)

@@ -1,0 +1,28 @@
+"""Fixture: every determinism hazard the rule must catch."""
+
+import os
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def stamp_requests(requests):
+    started = time.time()
+    batch_id = datetime.now()
+    salt = os.urandom(8)
+    jitter = random.random()
+    rng = random.Random()
+    np_rng = np.random.default_rng()
+    noise = np.random.shuffle(requests)
+    return started, batch_id, salt, jitter, rng, np_rng, noise
+
+
+def drain(order: list) -> list:
+    drained = []
+    for key in {"a", "b"}:
+        drained.append(key)
+    for key in set(order):
+        drained.append(key)
+    return [key for key in frozenset(drained)]

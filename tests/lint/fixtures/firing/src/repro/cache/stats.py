@@ -1,0 +1,8 @@
+"""Fixture: packed outcome layout with every kind of bit collision."""
+
+OUTCOME_HIT = 1
+OUTCOME_SHADOW_HIT = 3  # not a single bit, and overlaps OUTCOME_HIT
+OUTCOME_DEAD = 1 << 4
+CLASS_SHIFT = 4  # class field lands on OUTCOME_DEAD
+CLASS_MASK = 0x7
+EVICTED_SHIFT = 5  # eviction count overlaps the class field

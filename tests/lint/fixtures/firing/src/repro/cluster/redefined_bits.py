@@ -1,0 +1,11 @@
+"""Fixture: re-defining the packed layout outside cache/stats.py."""
+
+from repro.cache.stats import OUTCOME_DEAD
+
+OUTCOME_LOCAL = 1 << 3
+OUTCOME_DEAD = 1 << 6
+EVICTED_SHIFT = 12
+
+
+def tag(code: int) -> int:
+    return code | OUTCOME_DEAD

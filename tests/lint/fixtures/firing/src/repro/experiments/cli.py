@@ -1,0 +1,16 @@
+"""Fixture: notes tables with a stale entry and a missing one."""
+
+SCHEME_NOTES = {
+    "retired-scheme": "documented but no longer registered",
+}
+
+WORKLOAD_NOTES = {
+    "documented-workload": "registered and documented: no finding",
+}
+
+
+def _print_listing() -> None:
+    for name, note in sorted(SCHEME_NOTES.items()):
+        print(f"  {name}: {note}")
+    for name, note in sorted(WORKLOAD_NOTES.items()):
+        print(f"  {name}: {note}")

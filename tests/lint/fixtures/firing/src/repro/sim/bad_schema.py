@@ -1,0 +1,26 @@
+"""Fixture: serializable dataclass whose schema drifted three ways."""
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass
+class DriftedConfig:
+    shards: int = 1
+    replication: int = 1
+    hash_seed: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "shards": self.shards,
+            "replication": self.replication,
+            "virtual_nodes": 64,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "DriftedConfig":
+        known = {"shards", "replication", "legacy_salt"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown fields: {sorted(unknown)}")
+        return cls(**payload)

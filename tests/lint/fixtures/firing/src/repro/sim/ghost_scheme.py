@@ -1,0 +1,13 @@
+"""Fixture: a registered scheme the --list notes table forgot."""
+
+from repro.sim.registries import register_scheme, register_workload
+
+
+@register_scheme("ghost-scheme")
+def build_ghost(app, budget_bytes, **context):
+    return None
+
+
+@register_workload("documented-workload")
+def build_documented(scale, seed, **params):
+    return None

@@ -1,0 +1,9 @@
+"""Fixture: library hygiene violations (assert, unused import)."""
+
+import json
+import math
+
+
+def check_budget(budget: float) -> float:
+    assert budget > 0, "budget must be positive"
+    return math.sqrt(budget)

@@ -1,0 +1,247 @@
+"""Per-rule fixture tests: every rule has firing and non-firing cases.
+
+The ``firing`` fixture tree is a miniature repository where each file
+violates specific rules; the ``clean`` tree mirrors it with compliant
+code. Rules are asserted by (rule, path) pairs so the fixtures stay
+readable, plus targeted line checks where the anchor matters.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import collect_files, rules_by_name, run_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def lint_tree(tree: str, select=None):
+    root = FIXTURES / tree
+    files = collect_files([root / "src"], root, excludes=())
+    registry = rules_by_name()
+    rules = (
+        [registry[name] for name in select]
+        if select
+        else list(registry.values())
+    )
+    return run_rules(files, rules, audit_suppressions=select is None)
+
+
+def findings_for(tree: str, rule: str):
+    report = lint_tree(tree, select=[rule])
+    return [finding for finding in report.findings if finding.rule == rule]
+
+
+# ---------------------------------------------------------------------------
+# The clean tree: every rule, zero findings
+# ---------------------------------------------------------------------------
+
+
+def test_clean_tree_has_no_findings():
+    report = lint_tree("clean")
+    assert report.findings == []
+    assert report.files_checked >= 7
+
+
+# ---------------------------------------------------------------------------
+# determinism
+# ---------------------------------------------------------------------------
+
+
+def test_determinism_fires_on_every_hazard():
+    findings = findings_for("firing", "determinism")
+    path = "src/repro/cache/nondeterministic.py"
+    assert all(finding.path == path for finding in findings)
+    messages = "\n".join(finding.message for finding in findings)
+    assert "time.time" in messages
+    assert "datetime.datetime.now" in messages
+    assert "os.urandom" in messages
+    assert "random.random" in messages
+    assert "random.Random() without an explicit seed" in messages
+    assert "numpy.random.default_rng() without an explicit" in messages
+    assert "numpy.random.shuffle" in messages
+    assert "set literal" in messages
+    assert "set(...)" in messages
+    assert "frozenset(...)" in messages
+    assert len(findings) == 10
+
+
+def test_determinism_ignores_non_replay_modules(tmp_path):
+    # The same hazards outside cache/cluster/workloads/sim are allowed:
+    # perfmodel and serve legitimately read wall clocks.
+    source = FIXTURES / "firing/src/repro/cache/nondeterministic.py"
+    target = tmp_path / "src/repro/perfmodel/clock.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(source.read_text())
+    files = collect_files([tmp_path / "src"], tmp_path, excludes=())
+    report = run_rules(
+        files, [rules_by_name()["determinism"]], audit_suppressions=False
+    )
+    assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# asyncio hygiene
+# ---------------------------------------------------------------------------
+
+
+def test_async_blocking_call_fires():
+    findings = findings_for("firing", "async-blocking-call")
+    messages = sorted(finding.message for finding in findings)
+    assert len(findings) == 3
+    assert any("time.sleep" in message for message in messages)
+    assert any("socket.create_connection" in message for message in messages)
+    assert any("open()" in message for message in messages)
+
+
+def test_unawaited_coroutine_fires_for_self_and_module_calls():
+    findings = findings_for("firing", "unawaited-coroutine")
+    names = sorted(finding.message.split("'")[1] for finding in findings)
+    assert names == ["flush", "main"]
+
+
+def test_deprecated_event_loop_fires():
+    findings = findings_for("firing", "deprecated-event-loop")
+    assert len(findings) == 1
+    assert "get_running_loop" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# packed-bit-overlap
+# ---------------------------------------------------------------------------
+
+
+def test_packed_bit_overlap_catches_layout_collisions():
+    findings = findings_for("firing", "packed-bit-overlap")
+    stats = [
+        finding
+        for finding in findings
+        if finding.path.endswith("cache/stats.py")
+    ]
+    messages = "\n".join(finding.message for finding in stats)
+    assert "not a single flag bit" in messages
+    assert "share bits" in messages
+    assert "overlaps flag OUTCOME_DEAD" in messages
+    assert "raise EVICTED_SHIFT" in messages
+    assert len(stats) == 4
+
+
+def test_packed_bit_overlap_catches_redefinitions():
+    findings = findings_for("firing", "packed-bit-overlap")
+    redefined = [
+        finding
+        for finding in findings
+        if finding.path.endswith("cluster/redefined_bits.py")
+    ]
+    assert len(redefined) == 3
+    messages = "\n".join(finding.message for finding in redefined)
+    assert "re-assigned here" in messages  # imported then clobbered
+    assert "import it instead" in messages  # fresh local layout names
+
+
+# ---------------------------------------------------------------------------
+# registry-doc-sync
+# ---------------------------------------------------------------------------
+
+
+def test_registry_doc_sync_fires_both_directions():
+    findings = findings_for("firing", "registry-doc-sync")
+    assert len(findings) == 2
+    by_path = {finding.path: finding.message for finding in findings}
+    assert "ghost-scheme" in by_path["src/repro/sim/ghost_scheme.py"]
+    assert "retired-scheme" in by_path["src/repro/experiments/cli.py"]
+
+
+# ---------------------------------------------------------------------------
+# scenario-schema-sync
+# ---------------------------------------------------------------------------
+
+
+def test_scenario_schema_sync_fires_on_all_three_drifts():
+    findings = findings_for("firing", "scenario-schema-sync")
+    assert all(
+        finding.path == "src/repro/sim/bad_schema.py" for finding in findings
+    )
+    messages = "\n".join(finding.message for finding in findings)
+    # hash_seed missing from to_dict and from known; virtual_nodes and
+    # legacy_salt are emitted/accepted but are not fields.
+    assert "missing from to_dict" in messages
+    assert "'virtual_nodes'" in messages
+    assert "missing from from_dict" in messages
+    assert "'legacy_salt'" in messages
+    assert len(findings) == 4
+
+
+# ---------------------------------------------------------------------------
+# hygiene rules
+# ---------------------------------------------------------------------------
+
+
+def test_no_assert_in_src_fires():
+    findings = findings_for("firing", "no-assert-in-src")
+    assert len(findings) == 1
+    assert findings[0].path == "src/repro/util.py"
+    assert findings[0].line == 8
+
+
+def test_no_assert_allows_tests(tmp_path):
+    target = tmp_path / "tests" / "test_example.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("def test_one():\n    assert 1 + 1 == 2\n")
+    files = collect_files([tmp_path / "tests"], tmp_path, excludes=())
+    report = run_rules(
+        files, [rules_by_name()["no-assert-in-src"]], audit_suppressions=False
+    )
+    assert report.findings == []
+
+
+def test_unused_import_fires_with_origin():
+    findings = findings_for("firing", "unused-import")
+    assert len(findings) == 1
+    assert findings[0].path == "src/repro/util.py"
+    assert "'json'" in findings[0].message
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        # __all__ re-export counts as a use.
+        'import json\n\n__all__ = ["json"]\n',
+        # Quoted forward references inside annotations count as a use.
+        "import asyncio\n\n\ndef make(x: \"asyncio.Future[int]\") -> None:\n"
+        "    del x\n",
+    ],
+)
+def test_unused_import_negative_cases(tmp_path, source):
+    target = tmp_path / "src" / "module.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(source)
+    files = collect_files([tmp_path / "src"], tmp_path, excludes=())
+    report = run_rules(
+        files, [rules_by_name()["unused-import"]], audit_suppressions=False
+    )
+    assert report.findings == []
+
+
+def test_unused_import_skips_package_init(tmp_path):
+    target = tmp_path / "src" / "pkg" / "__init__.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("from pkg.inner import thing\n")
+    files = collect_files([tmp_path / "src"], tmp_path, excludes=())
+    report = run_rules(
+        files, [rules_by_name()["unused-import"]], audit_suppressions=False
+    )
+    assert report.findings == []
+
+
+def test_docstring_mention_does_not_mark_import_used(tmp_path):
+    target = tmp_path / "src" / "module.py"
+    target.parent.mkdir(parents=True)
+    target.write_text('"""Talks about random things."""\n\nimport random\n')
+    files = collect_files([tmp_path / "src"], tmp_path, excludes=())
+    report = run_rules(
+        files, [rules_by_name()["unused-import"]], audit_suppressions=False
+    )
+    assert [finding.rule for finding in report.findings] == ["unused-import"]

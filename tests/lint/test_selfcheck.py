@@ -1,0 +1,23 @@
+"""Self-check: the shipped tree must lint clean.
+
+This is the tier-1 guarantee behind the CI ``repro.lint --strict``
+gate: any determinism hazard, packed-bit drift, or stale suppression
+introduced into ``src``/``tests``/``benchmarks`` fails this test
+locally before it ever reaches CI.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.cli import DEFAULT_PATHS, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_shipped_tree_is_clean():
+    report = run_lint(list(DEFAULT_PATHS), root=REPO_ROOT)
+    rendered = "\n".join(finding.render() for finding in report.findings)
+    assert report.findings == [], f"repro.lint findings:\n{rendered}"
+    # Sanity: the walk actually covered the repository, not an empty dir.
+    assert report.files_checked > 100

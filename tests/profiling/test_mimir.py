@@ -1,6 +1,5 @@
 """Tests for the Mimir bucket estimator."""
 
-import random
 
 import pytest
 

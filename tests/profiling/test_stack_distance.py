@@ -1,7 +1,6 @@
 """Tests for exact stack distances: the Fenwick profiler against the
 naive oracle, and the Mattson inclusion property against a real LRU."""
 
-import random
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.cache.slabs import SlabGeometry
 from repro.cluster import Cluster, ClusterConfig

@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.common.errors import ConfigurationError, TraceFormatError
 from repro.profiling.hrc import HitRateCurve
