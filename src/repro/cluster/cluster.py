@@ -55,6 +55,41 @@ from repro.workloads.trace import Request
 EngineFactory = Callable[[int, float], Engine]
 
 
+def scale_engine_budgets(engines, target: float) -> int:
+    """Proportionally scale a shard's engine budgets to sum to ``target``.
+
+    The single canonical implementation behind every shard resize --
+    rebalance transfers, fault-time drains and reclaims, serial or
+    parallel -- so the budget float arithmetic is identical everywhere
+    it runs (the parallel replay re-executes it in the owning worker and
+    relies on exact agreement with the parent's bookkeeping copy).
+    Proportional scaling keeps the apps' relative shares on the shard
+    intact; only the shard's total moves, mirroring how an operator
+    resizes a memcache instance rather than one tenant on it. Returns
+    the evictions the shrink enforced.
+    """
+    engines = list(engines)
+    current = sum(engine.budget_bytes for engine in engines)
+    if current <= 0:
+        # A fully drained shard (min_shard_fraction == 0) has no
+        # proportions left to scale; split the grant evenly across its
+        # apps so a transfer's credit is never destroyed.
+        if target > 0 and engines:
+            share = target / len(engines)
+            for engine in engines:
+                engine.grow_budget(share - engine.budget_bytes)
+        return 0
+    evictions = 0
+    scale = target / current
+    for engine in engines:
+        delta = engine.budget_bytes * (scale - 1.0)
+        if delta >= 0:
+            engine.grow_budget(delta)
+        else:
+            evictions += engine.shrink_budget(-delta)
+    return evictions
+
+
 @dataclass(frozen=True)
 class ClusterConfig:
     """The serializable shape of a scenario's ``cluster`` block.
@@ -71,6 +106,16 @@ class ClusterConfig:
     it to ``False`` keeps the legacy per-request routing loop -- bit-
     identical by construction, kept as the oracle the parity/property
     tests compare against (and as an escape hatch).
+
+    ``parallel_workers`` (default ``0``) fans the partitioned replay's
+    per-shard loops out across that many worker processes over
+    shared-memory trace columns (see :mod:`repro.cluster.parallel`).
+    ``0`` and ``1`` replay serially in-process; values above the shard
+    count clamp to it, and a one-shard cluster always replays serially.
+    Requires ``partitioned_replay`` (the per-request oracle is
+    inherently sequential). The parallel path is bit-identical to the
+    serial partitioned loop -- the property tests pin that down -- so
+    this knob trades nothing but processes for wall-clock.
     """
 
     shards: int = 1
@@ -78,6 +123,7 @@ class ClusterConfig:
     replication: int = 1
     virtual_nodes: int = 64
     partitioned_replay: bool = True
+    parallel_workers: int = 0
 
     def __post_init__(self) -> None:
         if not isinstance(self.partitioned_replay, bool):
@@ -97,6 +143,23 @@ class ClusterConfig:
             raise ConfigurationError(
                 f"virtual_nodes must be >= 1, got {self.virtual_nodes}"
             )
+        if not isinstance(self.parallel_workers, int) or isinstance(
+            self.parallel_workers, bool
+        ):
+            raise ConfigurationError(
+                f"parallel_workers must be an integer, got "
+                f"{self.parallel_workers!r}"
+            )
+        if self.parallel_workers < 0:
+            raise ConfigurationError(
+                f"parallel_workers must be >= 0, got "
+                f"{self.parallel_workers}"
+            )
+        if self.parallel_workers > 1 and not self.partitioned_replay:
+            raise ConfigurationError(
+                "parallel_workers requires partitioned_replay: the "
+                "per-request oracle loop is inherently sequential"
+            )
         if self.replication > self.shards:
             object.__setattr__(self, "replication", self.shards)
 
@@ -107,6 +170,7 @@ class ClusterConfig:
             "replication": self.replication,
             "virtual_nodes": self.virtual_nodes,
             "partitioned_replay": self.partitioned_replay,
+            "parallel_workers": self.parallel_workers,
         }
 
     @classmethod
@@ -124,6 +188,7 @@ class ClusterConfig:
             "replication",
             "virtual_nodes",
             "partitioned_replay",
+            "parallel_workers",
         }
         unknown = set(payload) - known
         if unknown:
@@ -137,6 +202,7 @@ class ClusterConfig:
                 replication=int(payload.get("replication", 1)),
                 virtual_nodes=int(payload.get("virtual_nodes", 64)),
                 partitioned_replay=payload.get("partitioned_replay", True),
+                parallel_workers=int(payload.get("parallel_workers", 0)),
             )
         except (TypeError, ValueError) as exc:
             raise ConfigurationError(f"bad cluster block: {exc}") from None
@@ -338,6 +404,18 @@ class Cluster:
         #: Per-app engine factories captured by :meth:`add_app`; the
         #: fault layer rebuilds restarted shards cold through these.
         self.engine_factories: Dict[str, EngineFactory] = {}
+        #: Per-app per-shard budget shares captured by :meth:`add_app`
+        #: (insertion order = registration order); the parallel replay's
+        #: workers rebuild their shards' engines from these.
+        self.app_shares: Dict[str, float] = {}
+        #: Live :class:`~repro.cluster.parallel.WorkerPool` while a
+        #: parallel replay is driving; :meth:`scale_shard_budget` and
+        #: :meth:`restart_shard` forward through it to the owning worker.
+        self._parallel = None
+        #: Per-shard used-bytes reported by the workers at the end of a
+        #: parallel replay (the parent's engines stay empty mirrors);
+        #: consulted by :meth:`report` / :meth:`memory_in_use`.
+        self._parallel_memory: Optional[Dict[int, float]] = None
         # Per-key round-robin counters for the object API (the compiled
         # replay keeps its own array-based counters).
         self._spread: Dict[object, int] = {}
@@ -373,6 +451,50 @@ class Cluster:
                 )
             server.add_app(engine)
         self.engine_factories[app] = make_engine
+        self.app_shares[app] = share
+
+    # -- shard budgets (the canonical resize seam) ----------------------
+
+    def shard_budget(self, shard: int) -> float:
+        """One shard's reservation: the sum of its engines' budgets."""
+        return sum(
+            engine.budget_bytes
+            for engine in self.servers[shard].engines.values()
+        )
+
+    def scale_shard_budget(self, shard: int, target: float) -> int:
+        """Proportionally scale ``shard``'s engine budgets to ``target``.
+
+        Every budget move -- rebalance transfers and fault-time
+        drains/reclaims -- goes through here. Returns the evictions the
+        shrink enforced (callers charge them to their own counters).
+        During a parallel replay the parent's engines are empty
+        bookkeeping mirrors: the same arithmetic runs both here (so
+        parent-side signals, floors, and reports see the right budgets)
+        and in the owning worker, whose engines hold the actual items
+        and therefore report the real eviction count.
+        """
+        evictions = scale_engine_budgets(
+            self.servers[shard].engines.values(), target
+        )
+        if self._parallel is not None:
+            evictions += self._parallel.scale_shard(shard, target)
+        return evictions
+
+    def restart_shard(
+        self, shard: int, budgets: Dict[str, float]
+    ) -> None:
+        """Cold-restart ``shard``: factory-fresh engines at ``budgets``
+        (app -> bytes). A zero-budget engine was fully drained at crash
+        time, so it is already cold and stays in place. In a parallel
+        replay the owning worker rebuilds the same engines from the same
+        factories."""
+        server = self.servers[shard]
+        for app, budget in budgets.items():
+            if budget > 0:
+                server.replace_app(self.engine_factories[app](shard, budget))
+        if self._parallel is not None:
+            self._parallel.restart_shard(shard, budgets)
 
     def attach_rebalancer(self, rebalancer) -> None:
         """Install a :class:`~repro.cluster.rebalance.Rebalancer`; the
@@ -803,6 +925,14 @@ class Cluster:
         exactly where the per-request loop puts them.
         """
         partitioned = self.config.partitioned_replay
+        if (
+            partitioned
+            and self.config.parallel_workers > 1
+            and len(self.servers) > 1
+        ):
+            from repro.cluster.parallel import replay_parallel
+
+            return replay_parallel(self, trace, plan)
         if self.fault_injector is not None:
             if partitioned:
                 return self._replay_faults_partitioned(trace, plan)
@@ -1286,7 +1416,7 @@ class Cluster:
                     requests=total.gets + total.sets,
                     gets=total.gets,
                     hit_rate=total.hit_rate(),
-                    memory_used_bytes=server.memory_in_use(),
+                    memory_used_bytes=self.shard_memory_in_use(shard),
                 )
             )
         counts = [load.requests for load in loads]
@@ -1324,8 +1454,21 @@ class Cluster:
 
     # ------------------------------------------------------------------
 
+    def shard_memory_in_use(self, shard: int) -> float:
+        """Used bytes on one shard; after a parallel replay this is the
+        owning worker's figure (the parent's engines are empty mirrors
+        whose budgets are right but whose queues never saw an item)."""
+        if self._parallel_memory is not None:
+            used = self._parallel_memory.get(shard)
+            if used is not None:
+                return used
+        return self.servers[shard].memory_in_use()
+
     def memory_in_use(self) -> float:
-        return sum(server.memory_in_use() for server in self.servers)
+        return sum(
+            self.shard_memory_in_use(shard)
+            for shard in range(len(self.servers))
+        )
 
     def memory_reserved(self) -> float:
         return sum(server.memory_reserved() for server in self.servers)

@@ -401,31 +401,15 @@ class FaultInjector:
         return hits, gets
 
     def _shard_budget(self, shard: int) -> float:
-        return sum(
-            engine.budget_bytes
-            for engine in self.cluster.servers[shard].engines.values()
-        )
+        return self.cluster.shard_budget(shard)
 
     def _scale_shard(self, shard: int, target: float) -> None:
-        """Proportionally scale one shard's engine budgets to ``target``
-        (mirrors :meth:`Rebalancer._set_shard_budget`), charging shrink
-        evictions to the injector -- fault bookkeeping must not inflate
-        the rebalancer's own eviction counter."""
-        engines = self.cluster.servers[shard].engines.values()
-        current = sum(engine.budget_bytes for engine in engines)
-        if current <= 0:
-            if target > 0 and engines:
-                share = target / len(engines)
-                for engine in engines:
-                    engine.grow_budget(share - engine.budget_bytes)
-            return
-        scale = target / current
-        for engine in engines:
-            delta = engine.budget_bytes * (scale - 1.0)
-            if delta >= 0:
-                engine.grow_budget(delta)
-            else:
-                self.fault_evictions += engine.shrink_budget(-delta)
+        """Scale one shard's engine budgets to ``target`` through the
+        cluster's canonical seam
+        (:meth:`repro.cluster.Cluster.scale_shard_budget`), charging the
+        enforced evictions to the injector -- fault bookkeeping must not
+        inflate the rebalancer's own eviction counter."""
+        self.fault_evictions += self.cluster.scale_shard_budget(shard, target)
 
     def _crash(self, event: FaultEvent) -> None:
         shard = event.shard
@@ -511,14 +495,10 @@ class FaultInjector:
                     if take > 0:
                         self._scale_shard(donor, budgets[donor] - take)
         # Cold restart: factory-fresh engines at the pre-crash budgets
-        # (equal to the current ones when budgets are frozen). A
-        # zero-budget engine was fully drained at crash time, so it is
-        # already cold and stays in place.
-        server = self.cluster.servers[shard]
-        factories = self.cluster.engine_factories
-        for app, budget in saved.items():
-            if budget > 0:
-                server.replace_app(factories[app](shard, budget))
+        # (equal to the current ones when budgets are frozen), through
+        # the cluster's restart seam so a parallel replay's owning
+        # worker rebuilds the same engines.
+        self.cluster.restart_shard(shard, saved)
 
     # ------------------------------------------------------------------
     # Reporting

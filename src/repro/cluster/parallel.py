@@ -1,0 +1,524 @@
+"""Process-parallel partitioned replay over shared-memory trace columns.
+
+Cliffhanger's no-coordination design (paper section 4.3) makes shards
+fully independent between rebalance barriers, and the partitioned replay
+already splits every window into per-(shard, app) runs -- so the
+per-shard fast loops are embarrassingly parallel. This module fans them
+out across worker processes:
+
+* The trace's replay columns and the routing plan's ``shard_ids`` go
+  into one :class:`~repro.workloads.compiled.SharedTraceColumns`
+  segment; workers map the numeric columns zero-copy and rebuild only
+  the interned key strings (once, from the shared utf-8 blob).
+* Each worker owns a contiguous block of shards, builds those shards'
+  engines cold through the cluster's registered factories, and replays
+  its shards' runs of each window -- the same stable partition, the
+  same per-run order, the same packed-outcome tallies as the serial
+  loop.
+* Rebalance epochs and fault barriers are synchronization points: the
+  parent collects every worker's per-run tallies for the window,
+  applies them to its own shard registries through
+  ``record_code_bulk`` (order-free integer adds, flushed in the serial
+  loop's run order), runs ``on_barrier``/``on_epoch``/``apply_events``
+  against its own state, and only then releases the next window.
+
+The parent's engines never process a request: they are empty
+*bookkeeping mirrors*. Budget moves go through
+:meth:`~repro.cluster.Cluster.scale_shard_budget`, which runs the same
+proportional arithmetic on the parent's empty engines (so signals,
+floors, and reports see the right budgets -- ``grow_budget`` and
+``shrink_budget`` touch only ``budget_bytes`` floats, identical whether
+the queues hold items or not) and forwards the command to the owning
+worker, whose engines hold the actual items and report the real
+eviction counts. Fault-time routing changes reach workers through the
+segment's parent-writable scratch column, written strictly before the
+window that uses it.
+
+The result is bit-identical to the serial partitioned loop -- down to
+per-shard per-(app, class) counters, rebalance timelines, and fault
+records -- which the Hypothesis property tests pin down. The serial
+path stays the default and the oracle.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cache.server import CacheServer
+from repro.cache.slabs import SlabGeometry
+from repro.cache.stats import OUTCOME_DEAD
+from repro.cluster.cluster import Cluster, scale_engine_budgets
+from repro.cluster.rebalance import epoch_windows
+from repro.cluster.routing import LiveRouter, RoutingPlan
+from repro.common.errors import ConfigurationError
+from repro.common.mp import get_mp_context
+from repro.workloads.compiled import SharedTraceColumns
+
+#: One (shard, app_id, [(packed_code, count), ...]) tally per run.
+Run = Tuple[int, int, List[Tuple[int, int]]]
+
+
+def partition_shards(shards: int, workers: int) -> List[List[int]]:
+    """Contiguous shard blocks, one per worker, sizes differing by <= 1.
+
+    Contiguous (rather than round-robin) so a worker's runs stay close
+    in the sorted composite order; deterministic so reruns assign
+    identically.
+    """
+    workers = max(1, min(workers, shards))
+    return [
+        block.tolist()
+        for block in np.array_split(np.arange(shards), workers)
+    ]
+
+
+def build_shard_servers(
+    geometry: SlabGeometry,
+    owned: Sequence[int],
+    apps: Sequence[Tuple[str, float, Any]],
+) -> Dict[int, CacheServer]:
+    """Build one worker's servers: cold engines for its shards only.
+
+    ``apps`` is ``(name, per-shard share, factory)`` in registration
+    order -- the exact arguments the parent's
+    :meth:`~repro.cluster.Cluster.add_app` called its factories with, so
+    a worker's engine for shard ``s`` is identical to the one the serial
+    replay would have used (factories are deterministic per shard).
+    """
+    servers: Dict[int, CacheServer] = {}
+    for shard in owned:
+        server = CacheServer(geometry)
+        for app, share, factory in apps:
+            engine = factory(shard, share)
+            if engine.app != app:
+                raise ConfigurationError(
+                    f"engine factory for app {app!r} built an engine "
+                    f"named {engine.app!r}"
+                )
+            server.add_app(engine)
+        servers[shard] = server
+    return servers
+
+
+def window_runs(
+    servers: Dict[int, CacheServer],
+    app_table: Sequence[str],
+    total_shards: int,
+    keys: np.ndarray,
+    op_codes: np.ndarray,
+    slab_classes: np.ndarray,
+    chunk_bytes: np.ndarray,
+    item_bytes: np.ndarray,
+    shard_column: np.ndarray,
+    app_ids: np.ndarray,
+    start: int,
+    stop: int,
+    dead: frozenset = frozenset(),
+) -> List[Run]:
+    """Replay one window's runs for the shards in ``servers``.
+
+    The owned-shard restriction of :meth:`Cluster._replay_window`: the
+    window is filtered to owned shards, stable-sorted by the same
+    ``shard * num_apps + app`` composite (a stable sort of a subsequence
+    preserves the original within-run order, so each run's request
+    sequence is identical to the serial loop's), and each run is
+    replayed with the hoisted ``process_fast`` fast loop. Instead of
+    recording into registries, identical packed ``(code << 2) | op``
+    outcomes are tallied per run and returned for the parent to flush --
+    integer adds, so deferring them is bit-identical. Runs addressed to
+    a ``dead`` owned shard (miss-through) tally ``OUTCOME_DEAD`` per op
+    without touching an engine, exactly like the serial window.
+    """
+    owned_lookup = np.zeros(total_shards, dtype=bool)
+    owned_lookup[list(servers)] = True
+    window_shards = shard_column[start:stop]
+    picks = np.flatnonzero(owned_lookup[window_shards])
+    runs: List[Run] = []
+    if len(picks) == 0:
+        return runs
+    num_apps = len(app_table)
+    composite = (
+        window_shards[picks].astype(np.int64) * num_apps
+        + app_ids[start:stop][picks]
+    )
+    order = np.argsort(composite, kind="stable")
+    sorted_runs = composite[order]
+    run_bounds = np.flatnonzero(sorted_runs[1:] != sorted_runs[:-1]) + 1
+    run_starts = np.concatenate(([0], run_bounds))
+    run_stops = np.concatenate((run_bounds, [len(sorted_runs)]))
+    sorted_picks = picks[order] + start
+    for run_start, run_stop in zip(run_starts, run_stops):
+        shard, app_id = divmod(int(sorted_runs[run_start]), num_apps)
+        run_picks = sorted_picks[run_start:run_stop]
+        if dead and shard in dead:
+            ops, op_counts = np.unique(
+                op_codes[run_picks], return_counts=True
+            )
+            runs.append(
+                (
+                    shard,
+                    app_id,
+                    [
+                        ((OUTCOME_DEAD << 2) | op, count)
+                        for op, count in zip(
+                            ops.tolist(), op_counts.tolist()
+                        )
+                    ],
+                )
+            )
+            continue
+        engine = servers[shard].engines[app_table[app_id]]
+        process = engine.process_fast
+        counts: Dict[int, int] = {}
+        for key, op, class_index, chunk, nbytes in zip(
+            keys[run_picks].tolist(),
+            op_codes[run_picks].tolist(),
+            slab_classes[run_picks].tolist(),
+            chunk_bytes[run_picks].tolist(),
+            item_bytes[run_picks].tolist(),
+        ):
+            packed = (
+                process(key, op, class_index, chunk, nbytes) << 2
+            ) | op
+            try:
+                counts[packed] += 1
+            except KeyError:
+                counts[packed] = 1
+        runs.append((shard, app_id, list(counts.items())))
+    return runs
+
+
+def apply_runs(
+    cluster: Cluster, app_table: Sequence[str], runs: List[Run]
+) -> None:
+    """Flush worker tallies into the parent's shard registries.
+
+    Sorted by the serial loop's composite run order before flushing, so
+    registry keys are even *inserted* in the serial order -- counters
+    are order-free integer adds, but keeping iteration order identical
+    too means serialized reports cannot differ either.
+    """
+    num_apps = len(app_table)
+    runs.sort(key=lambda run: run[0] * num_apps + run[1])
+    servers = cluster.servers
+    for shard, app_id, tallies in runs:
+        record_bulk = servers[shard].stats.record_code_bulk
+        app = app_table[app_id]
+        for packed, count in tallies:
+            record_bulk(app, packed & 3, packed >> 2, count)
+
+
+def _worker_main(conn, payload: Dict[str, Any]) -> None:
+    """Worker process entry: attach columns, build owned shards, serve
+    commands until ``finish``. Any exception is shipped back as an
+    ``("error", traceback)`` reply instead of dying silently."""
+    columns = SharedTraceColumns.attach(payload["meta"])
+    try:
+        geometry = SlabGeometry(tuple(payload["chunk_sizes"]))
+        apps = payload["apps"]
+        servers = build_shard_servers(geometry, payload["owned"], apps)
+        factories = {app: factory for app, _, factory in apps}
+        app_table = payload["app_table"]
+        total_shards = payload["total_shards"]
+        keys = columns.keys()
+        while True:
+            message = conn.recv()
+            command = message[0]
+            try:
+                if command == "window":
+                    _, start, stop, use_scratch, dead = message
+                    shard_column = (
+                        columns.scratch_shard_ids
+                        if use_scratch
+                        else columns.shard_ids
+                    )
+                    runs = window_runs(
+                        servers,
+                        app_table,
+                        total_shards,
+                        keys,
+                        columns.op_codes,
+                        columns.slab_classes,
+                        columns.chunk_bytes,
+                        columns.item_bytes,
+                        shard_column,
+                        columns.app_ids,
+                        start,
+                        stop,
+                        frozenset(dead),
+                    )
+                    conn.send(("ok", runs))
+                elif command == "scale":
+                    _, shard, target = message
+                    conn.send(
+                        (
+                            "ok",
+                            scale_engine_budgets(
+                                servers[shard].engines.values(), target
+                            ),
+                        )
+                    )
+                elif command == "restart":
+                    _, shard, budgets = message
+                    server = servers[shard]
+                    for app, budget in budgets.items():
+                        if budget > 0:
+                            server.replace_app(factories[app](shard, budget))
+                    conn.send(("ok", None))
+                else:  # "finish"
+                    conn.send(
+                        (
+                            "ok",
+                            {
+                                shard: server.memory_in_use()
+                                for shard, server in servers.items()
+                            },
+                        )
+                    )
+                    return
+            except Exception:
+                conn.send(("error", traceback.format_exc()))
+                return
+    finally:
+        columns.close()
+        conn.close()
+
+
+class WorkerPool:
+    """The parent's handle on one parallel replay's worker processes.
+
+    Owns the shared-memory segment (created here, unlinked in
+    :meth:`shutdown` -- workers only ever attach), one duplex pipe per
+    worker, and the shard -> worker ownership map that
+    :meth:`scale_shard` / :meth:`restart_shard` route commands with.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        trace,
+        plan: RoutingPlan,
+        start_method: Optional[str] = None,
+    ) -> None:
+        context = get_mp_context(start_method)
+        self.cluster = cluster
+        self.app_table = list(trace.app_table)
+        self.columns = SharedTraceColumns.export(trace, plan.shard_ids)
+        self._scratch_mask: Optional[Tuple[bool, ...]] = None
+        blocks = partition_shards(
+            cluster.shards, cluster.config.parallel_workers
+        )
+        self.owner: Dict[int, int] = {}
+        for worker, owned in enumerate(blocks):
+            for shard in owned:
+                self.owner[shard] = worker
+        apps = [
+            (app, cluster.app_shares[app], cluster.engine_factories[app])
+            for app in cluster.engine_factories
+        ]
+        self.connections = []
+        self.processes = []
+        try:
+            for owned in blocks:
+                parent_end, child_end = context.Pipe()
+                payload = {
+                    "meta": self.columns.meta,
+                    "chunk_sizes": cluster.geometry.chunk_sizes,
+                    "owned": owned,
+                    "apps": apps,
+                    "app_table": self.app_table,
+                    "total_shards": cluster.shards,
+                }
+                process = context.Process(
+                    target=_worker_main,
+                    args=(child_end, payload),
+                    daemon=True,
+                )
+                process.start()
+                child_end.close()
+                self.connections.append(parent_end)
+                self.processes.append(process)
+        except BaseException:
+            self.shutdown()
+            raise
+
+    # -- command plumbing ----------------------------------------------
+
+    def _receive(self, worker: int):
+        try:
+            status, value = self.connections[worker].recv()
+        except (EOFError, ConnectionResetError):
+            raise RuntimeError(
+                f"parallel replay worker {worker} died without replying"
+            ) from None
+        if status != "ok":
+            raise RuntimeError(
+                f"parallel replay worker {worker} failed:\n{value}"
+            )
+        return value
+
+    def _call(self, worker: int, message):
+        self.connections[worker].send(message)
+        return self._receive(worker)
+
+    # -- replay protocol -----------------------------------------------
+
+    def set_scratch(
+        self, column: np.ndarray, mask: Tuple[bool, ...]
+    ) -> None:
+        """Publish a fault-window routing column to the workers.
+
+        Written before the window command is broadcast, so every worker
+        observes the full column before touching it; memoized per live
+        mask because schedules revisit live sets.
+        """
+        if mask != self._scratch_mask:
+            self.columns.scratch_shard_ids[:] = column
+            self._scratch_mask = mask
+
+    def replay_window(
+        self,
+        start: int,
+        stop: int,
+        use_scratch: bool = False,
+        dead: Tuple[int, ...] = (),
+    ) -> None:
+        """Replay ``[start, stop)`` on every worker and apply the merged
+        tallies to the parent's registries (the barrier: this returns
+        only when the whole window is done and accounted)."""
+        for connection in self.connections:
+            connection.send(("window", start, stop, use_scratch, dead))
+        runs: List[Run] = []
+        for worker in range(len(self.connections)):
+            runs.extend(self._receive(worker))
+        apply_runs(self.cluster, self.app_table, runs)
+
+    def scale_shard(self, shard: int, target: float) -> int:
+        """Forward a budget resize to the owning worker; returns the
+        evictions its engines enforced."""
+        return self._call(self.owner[shard], ("scale", shard, target))
+
+    def restart_shard(self, shard: int, budgets: Dict[str, float]) -> None:
+        """Forward a cold restart to the owning worker."""
+        self._call(self.owner[shard], ("restart", shard, dict(budgets)))
+
+    def finish(self) -> Dict[int, float]:
+        """Collect per-shard used-bytes and let the workers exit."""
+        for connection in self.connections:
+            connection.send(("finish",))
+        memory: Dict[int, float] = {}
+        for worker in range(len(self.connections)):
+            memory.update(self._receive(worker))
+        return memory
+
+    def shutdown(self) -> None:
+        """Tear everything down; safe to call twice and mid-error."""
+        for connection in self.connections:
+            try:
+                connection.close()
+            except OSError:
+                pass
+        for process in self.processes:
+            process.join(timeout=30)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+        self.columns.close()
+        self.columns.unlink()
+
+
+def _require_fresh(cluster: Cluster) -> None:
+    """Parallel replays must start cold: workers rebuild engines from
+    factories, so state a warm parent holds (items, counters) would be
+    silently dropped. Serial replays keep supporting warm reuse."""
+    for shard, server in enumerate(cluster.servers):
+        total = server.stats.total
+        if total.gets or total.sets or server.memory_in_use() > 0:
+            raise ConfigurationError(
+                f"parallel replay requires a fresh cluster, but shard "
+                f"{shard} already holds state; replay serially "
+                f"(parallel_workers: 0) to reuse warm engines"
+            )
+        for app, engine in server.engines.items():
+            if engine.budget_bytes != cluster.app_shares.get(app):
+                raise ConfigurationError(
+                    f"parallel replay requires unscaled budgets, but "
+                    f"app {app!r} on shard {shard} holds "
+                    f"{engine.budget_bytes} bytes (registered share: "
+                    f"{cluster.app_shares.get(app)}); replay serially "
+                    f"(parallel_workers: 0)"
+                )
+
+
+def replay_parallel(
+    cluster: Cluster,
+    trace,
+    plan: Optional[RoutingPlan] = None,
+    start_method: Optional[str] = None,
+):
+    """Drive one parallel replay: the windows/barriers of the serial
+    partitioned paths, with the replay loops fanned out to workers.
+
+    Control logic stays entirely in the parent -- the rebalancer and
+    fault injector read the parent's registries (updated from worker
+    tallies at each barrier) and the parent's engine budgets (updated by
+    the same arithmetic the workers run) -- so decision sequences are
+    bit-identical to the serial replay's.
+    """
+    cluster._check_geometry(trace)
+    plan = cluster._resolve_plan(trace, plan)
+    cluster._require_engines(trace)
+    _require_fresh(cluster)
+    pool = WorkerPool(cluster, trace, plan, start_method=start_method)
+    cluster._parallel = pool
+    cluster._parallel_memory = None
+    try:
+        injector = cluster.fault_injector
+        rebalancer = cluster.rebalancer
+        epoch_requests = (
+            rebalancer.config.epoch_requests if rebalancer is not None else 0
+        )
+        if injector is not None:
+            injector.begin(len(trace), epoch_requests)
+            failover = injector.policy == "failover"
+            router = (
+                LiveRouter(
+                    trace, cluster.ring, cluster.replication, base_plan=plan
+                )
+                if failover
+                else None
+            )
+            all_live = (True,) * cluster.shards
+            for start, stop in injector.windows():
+                use_scratch = False
+                dead: Tuple[int, ...] = ()
+                if failover:
+                    mask = tuple(bool(flag) for flag in injector.live)
+                    if mask != all_live:
+                        pool.set_scratch(
+                            router.shard_ids(injector.live), mask
+                        )
+                        use_scratch = True
+                else:
+                    dead = tuple(sorted(injector.dead_shards()))
+                pool.replay_window(start, stop, use_scratch, dead)
+                injector.on_barrier(stop)
+                if epoch_requests and stop % epoch_requests == 0:
+                    rebalancer.on_epoch()
+                injector.apply_events(stop)
+        elif rebalancer is not None:
+            for start, stop in epoch_windows(len(trace), epoch_requests):
+                pool.replay_window(start, stop)
+                if stop - start == epoch_requests:
+                    rebalancer.on_epoch()
+        else:
+            if len(trace) > 0:
+                pool.replay_window(0, len(trace))
+        cluster._parallel_memory = pool.finish()
+    finally:
+        cluster._parallel = None
+        pool.shutdown()
+    return cluster.aggregate_stats()

@@ -202,39 +202,17 @@ class Rebalancer:
 
     def shard_budget(self, shard: int) -> float:
         """One shard's reservation: the sum of its engines' budgets."""
-        return sum(
-            engine.budget_bytes
-            for engine in self.cluster.servers[shard].engines.values()
-        )
+        return self.cluster.shard_budget(shard)
 
     def budgets(self) -> List[float]:
         return [self.shard_budget(s) for s in range(self.cluster.shards)]
 
     def _set_shard_budget(self, shard: int, target: float) -> None:
-        """Scale the shard's per-app engine budgets to sum to ``target``.
-
-        Proportional scaling keeps the apps' relative shares on the shard
-        intact; only the shard's total moves, mirroring how an operator
-        resizes a memcache instance rather than one tenant on it.
-        """
-        engines = self.cluster.servers[shard].engines.values()
-        current = self.shard_budget(shard)
-        if current <= 0:
-            # A fully drained shard (min_shard_fraction == 0) has no
-            # proportions left to scale; split the grant evenly across
-            # its apps so the victim's credit is never destroyed.
-            if target > 0 and engines:
-                share = target / len(engines)
-                for engine in engines:
-                    engine.grow_budget(share - engine.budget_bytes)
-            return
-        scale = target / current
-        for engine in engines:
-            delta = engine.budget_bytes * (scale - 1.0)
-            if delta >= 0:
-                engine.grow_budget(delta)
-            else:
-                self.evictions += engine.shrink_budget(-delta)
+        """Scale the shard's engine budgets to sum to ``target`` through
+        the cluster's canonical seam
+        (:meth:`repro.cluster.Cluster.scale_shard_budget`), charging the
+        enforced evictions to the rebalancer."""
+        self.evictions += self.cluster.scale_shard_budget(shard, target)
 
     # ------------------------------------------------------------------
     # Epoch handling

@@ -104,6 +104,19 @@ def occurrence_index(key_ids: np.ndarray) -> np.ndarray:
     return turns
 
 
+def effective_replication(replication: int, shards: int) -> int:
+    """The replication factor a ``shards``-wide ring actually runs at.
+
+    Every consumer of a replication parameter -- plan construction, plan
+    cache keys, :meth:`RoutingPlan.matches_ring`, and
+    :class:`LiveRouter` -- must agree on how out-of-range values clamp,
+    or a plan keyed/built at one effective value can be matched (or
+    missed) at another. This is the single definition: at least one
+    replica, at most one per shard.
+    """
+    return min(max(int(replication), 1), int(shards))
+
+
 class RoutingPlan:
     """One precomputed ``shard_ids`` column for a (trace, ring) pair.
 
@@ -146,7 +159,8 @@ class RoutingPlan:
             self.shards == ring.shards
             and self.hash_seed == ring.seed
             and self.virtual_nodes == ring.virtual_nodes
-            and self.replication == min(max(replication, 1), ring.shards)
+            and self.replication
+            == effective_replication(replication, ring.shards)
         )
 
     # ------------------------------------------------------------------
@@ -171,17 +185,54 @@ class RoutingPlan:
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "RoutingPlan":
+        """Deserialize, validating the shard column before trusting it.
+
+        A corrupt or truncated file whose ``shard_ids`` fall outside
+        ``[0, shards)`` would pass the caller's length and
+        :meth:`matches_ring` checks and then misroute (or IndexError
+        deep inside the replay gather), so the range check lives here:
+        any violation raises :class:`TraceFormatError`, which the cache
+        layer treats exactly like a stale entry -- rebuild and
+        overwrite.
+        """
         with np.load(path, allow_pickle=False) as data:
             if int(data["version"][0]) != PLAN_FORMAT_VERSION:
                 raise TraceFormatError(
                     f"{path}: unsupported routing-plan version"
                 )
+            shards = int(data["shards"][0])
+            replication = int(data["replication"][0])
+            shard_ids = data["shard_ids"]
+            if shards < 1:
+                raise TraceFormatError(
+                    f"{path}: routing plan declares {shards} shard(s)"
+                )
+            if not 1 <= replication <= shards:
+                raise TraceFormatError(
+                    f"{path}: routing plan replication {replication} "
+                    f"outside [1, {shards}]"
+                )
+            if shard_ids.ndim != 1 or not np.issubdtype(
+                shard_ids.dtype, np.integer
+            ):
+                raise TraceFormatError(
+                    f"{path}: shard_ids must be a 1-d integer column, "
+                    f"got shape {shard_ids.shape} dtype {shard_ids.dtype}"
+                )
+            if len(shard_ids) > 0:
+                low = int(shard_ids.min())
+                high = int(shard_ids.max())
+                if low < 0 or high >= shards:
+                    raise TraceFormatError(
+                        f"{path}: shard_ids range [{low}, {high}] "
+                        f"outside [0, {shards})"
+                    )
             return cls(
-                int(data["shards"][0]),
+                shards,
                 int(data["hash_seed"][0]),
                 int(data["virtual_nodes"][0]),
-                int(data["replication"][0]),
-                data["shard_ids"],
+                replication,
+                shard_ids,
             )
 
 
@@ -225,7 +276,7 @@ def build_routing_plan(
         raise ConfigurationError(
             f"replication must be >= 1, got {replication}"
         )
-    replication = min(replication, ring.shards)
+    replication = effective_replication(replication, ring.shards)
     positions = ring_positions(trace, ring)
     key_ids = np.asarray(trace.key_ids, dtype=np.int64)
     if replication == 1:
@@ -273,7 +324,7 @@ class LiveRouter:
         base_plan: Optional[RoutingPlan] = None,
     ) -> None:
         self.ring = ring
-        self.replication = min(max(replication, 1), ring.shards)
+        self.replication = effective_replication(replication, ring.shards)
         self._trace = trace
         self._positions: Optional[np.ndarray] = None
         self._turns: Optional[np.ndarray] = None
@@ -325,10 +376,19 @@ def plan_cache_key(
     trace: "CompiledTrace", ring: "HashRing", replication: int
 ) -> str:
     """Cache key encoding everything the plan depends on: the routed key
-    sequence (trace digest) and every ring/replication parameter."""
+    sequence (trace digest) and every ring/replication parameter.
+
+    The replication component is the *effective* (clamped) value: plans
+    built at ``replication > shards`` are identical to plans built at
+    ``shards``, and keying them apart would store the same bytes twice
+    while a key at the raw value could never match the clamped value
+    recorded inside the plan file.
+    """
     return (
         f"routing-{trace.routing_digest()}-s{ring.shards}-h{ring.seed}"
-        f"-v{ring.virtual_nodes}-r{replication}-p{PLAN_FORMAT_VERSION}"
+        f"-v{ring.virtual_nodes}"
+        f"-r{effective_replication(replication, ring.shards)}"
+        f"-p{PLAN_FORMAT_VERSION}"
     )
 
 
@@ -347,6 +407,14 @@ def get_routing_plan(
     ``REPRO_TRACE_CACHE=off`` the plan still caches in process memory,
     just not on disk.
     """
+    if replication < 1:
+        # Reject up front: with the cache key clamped, a warm cache
+        # could otherwise serve replication=0 the r=1 plan while a cold
+        # cache raised from the build -- behavior must not depend on
+        # cache warmth.
+        raise ConfigurationError(
+            f"replication must be >= 1, got {replication}"
+        )
     if cache is None:
         from repro.workloads.compiled import GLOBAL_TRACE_CACHE as cache
     key = plan_cache_key(trace, ring, replication)

@@ -78,7 +78,7 @@ def _print_listing() -> None:
     print("scenario blocks:")
     print(
         "  cluster: shards, hash_seed, replication, virtual_nodes, "
-        "partitioned_replay"
+        "partitioned_replay, parallel_workers"
     )
     print(
         "    (partitioned_replay: false selects the legacy per-request "
@@ -89,6 +89,14 @@ def _print_listing() -> None:
         "per-shard runs"
     )
     print("     from a cached vectorized routing plan)")
+    print(
+        "    (parallel_workers: >= 2 fans per-shard replay loops across "
+        "worker processes"
+    )
+    print(
+        "     over shared-memory columns, bit-identical to serial; "
+        "0 = serial, default)"
+    )
     print(
         "  rebalance: epoch_requests, credit_bytes, min_shard_fraction, "
         "policy (shadow|load)"

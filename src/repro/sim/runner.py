@@ -88,6 +88,55 @@ def build_server(
     return server
 
 
+class ScenarioEngineFactory:
+    """One app's ``make_engine(shard, share)`` factory, as a picklable
+    value object instead of a closure.
+
+    The cluster keeps these factories for fault-time cold restarts, and
+    a parallel replay ships them to worker processes -- under the
+    ``spawn`` start method that means pickling, which a local closure
+    cannot do. The scheme travels as its registry name and is resolved
+    back through :data:`SCHEMES` at call time.
+    """
+
+    def __init__(
+        self,
+        scheme: str,
+        app: str,
+        scale: float,
+        seed: int,
+        policy: Optional[str],
+        plan: Optional[Dict[int, float]],
+        shards: int,
+        engine_overrides: Dict[str, object],
+    ) -> None:
+        self.scheme = scheme
+        self.app = app
+        self.scale = scale
+        self.seed = seed
+        self.policy = policy
+        self.plan = plan
+        self.shards = shards
+        self.engine_overrides = dict(engine_overrides)
+
+    def __call__(self, shard: int, share: float):
+        shard_plan = (
+            {cls: cap / self.shards for cls, cap in self.plan.items()}
+            if self.plan is not None
+            else None
+        )
+        return SCHEMES.get(self.scheme)(
+            self.app,
+            share,
+            geometry=GEOMETRY,
+            scale=self.scale,
+            seed=self.seed + shard,
+            policy=self.policy,
+            plan=shard_plan,
+            **self.engine_overrides,
+        )
+
+
 def build_cluster(
     scenario: Scenario,
     trace,
@@ -103,29 +152,18 @@ def build_cluster(
     if plans is None:
         plans = _resolve_plans(scenario, trace, chosen)
     config = ClusterConfig.from_dict(scenario.cluster)
-    builder = SCHEMES.get(scenario.scheme)
     cluster = Cluster(config, GEOMETRY)
-    shards = config.shards
     for app in chosen:
-        plan = plans.get(app) if plans else None
-
-        def make_engine(shard: int, share: float, app=app, plan=plan):
-            shard_plan = (
-                {cls: cap / shards for cls, cap in plan.items()}
-                if plan is not None
-                else None
-            )
-            return builder(
-                app,
-                share,
-                geometry=GEOMETRY,
-                scale=trace.scale,
-                seed=scenario.seed + shard,
-                policy=scenario.policy,
-                plan=shard_plan,
-                **scenario.engine_overrides,
-            )
-
+        make_engine = ScenarioEngineFactory(
+            scenario.scheme,
+            app,
+            trace.scale,
+            scenario.seed,
+            scenario.policy,
+            plans.get(app) if plans else None,
+            config.shards,
+            scenario.engine_overrides,
+        )
         cluster.add_app(
             app, _resolve_budget(scenario, trace, app), make_engine
         )

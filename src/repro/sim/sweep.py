@@ -21,9 +21,11 @@ import itertools
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.common.errors import ConfigurationError
+from repro.common.mp import get_mp_context
 from repro.sim.runner import run_scenario
 from repro.sim.scenario import Scenario, ScenarioResult
 
@@ -47,6 +49,23 @@ def _apply_axis(payload: Dict[str, Any], path: str, value: Any) -> None:
 def _run_scenario_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Worker entry point: dicts in, dicts out (picklable both ways)."""
     return run_scenario(Scenario.from_dict(payload)).to_dict()
+
+
+def _pool_initializer(cache_directory: Optional[str]) -> None:
+    """Point the worker's global trace cache at the parent's directory.
+
+    Under fork the worker inherits the parent's resolved cache anyway;
+    under spawn the module re-imports and re-reads ``REPRO_TRACE_CACHE``
+    from the environment, which loses any directory the parent resolved
+    or was configured with programmatically. Pinning it here makes the
+    on-disk store identical across start methods -- including "no disk
+    store at all" when the parent disabled it.
+    """
+    from repro.workloads import compiled
+
+    compiled.GLOBAL_TRACE_CACHE.directory = (
+        Path(cache_directory) if cache_directory else None
+    )
 
 
 @dataclass
@@ -104,7 +123,11 @@ class Sweep:
             grid.append(Scenario.from_dict(payload))
         return grid
 
-    def run(self, workers: Optional[int] = None) -> "SweepResult":
+    def run(
+        self,
+        workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> "SweepResult":
         """Execute every grid point; results come back in grid order.
 
         ``workers``: ``None`` falls back to the sweep's own ``workers``
@@ -112,14 +135,27 @@ class Sweep:
         fallback or ``<= 1`` runs serially in-process; larger values fan
         scenarios out over a process pool sharing the on-disk
         compiled-trace cache.
+
+        ``start_method`` pins the pool's multiprocessing start method;
+        ``None`` uses :data:`repro.common.mp.DEFAULT_START_METHOD`. The
+        context is always explicit -- worker behavior must not depend on
+        the platform default.
         """
         if workers is None:
             workers = self.workers
         grid = self.scenarios()
         started = time.perf_counter()
         if workers is not None and workers > 1:
+            from repro.workloads.compiled import GLOBAL_TRACE_CACHE
+
             payloads = [scenario.to_dict() for scenario in grid]
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+            cache_dir = GLOBAL_TRACE_CACHE.directory
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=get_mp_context(start_method),
+                initializer=_pool_initializer,
+                initargs=(str(cache_dir) if cache_dir else None,),
+            ) as pool:
                 result_dicts = list(pool.map(_run_scenario_payload, payloads))
             results = [ScenarioResult.from_dict(d) for d in result_dicts]
         else:

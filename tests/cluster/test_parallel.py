@@ -1,0 +1,531 @@
+"""Process-parallel replay: bit-exact parity with the serial oracle.
+
+The parallel path's contract is absolute: fanning the per-shard replay
+loops out to worker processes must change *nothing* -- per-shard
+per-(app, class) counters, rebalance timelines, fault records, shard
+load reports -- versus the serial partitioned replay, which itself is
+pinned against the per-request oracle. These tests compare whole
+serialized results (minus wall-clock timings and the worker-count knob
+itself), under every replay mode the cluster has: static, rebalanced,
+faulted (both policies), faulted + rebalanced, fork and spawn start
+methods, and Hypothesis-driven random fault schedules.
+
+Alongside parity: the knob's validation surface, the fresh-cluster
+guard, sweep reachability, worker-failure propagation, shared-memory
+hygiene (no ``/dev/shm`` leaks), and in-process unit coverage of the
+worker-side helpers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.server import CacheServer
+from repro.cluster import ClusterConfig
+from repro.cluster.cluster import scale_engine_budgets
+from repro.cluster.parallel import (
+    WorkerPool,
+    apply_runs,
+    build_shard_servers,
+    partition_shards,
+    replay_parallel,
+    window_runs,
+)
+from repro.common.errors import ConfigurationError
+from repro.sim import Scenario, load_workload, run_scenario
+from repro.sim.runner import build_cluster
+
+SEED = 0
+SHARDS = 4
+
+WORKLOAD_PARAMS = {
+    "apps": 2,
+    "num_keys": 2_000,
+    "requests_per_app": 8_000,
+}
+
+BASE = Scenario(
+    scheme="hill",
+    workload="zipf",
+    scale=0.1,
+    seed=SEED,
+    workload_params=dict(WORKLOAD_PARAMS),
+    cluster={"shards": SHARDS, "virtual_nodes": 4},
+)
+
+TOTAL = sum(
+    load_workload(
+        "zipf", scale=0.1, seed=SEED, **WORKLOAD_PARAMS
+    ).requests_per_app.values()
+)
+
+REBALANCE = {"epoch_requests": 400, "policy": "shadow"}
+
+FAULTS = {
+    "events": [
+        {"kind": "crash", "shard": 1, "at": 2_000},
+        {"kind": "restart", "shard": 1, "at": 9_000},
+        {"kind": "crash", "shard": 3, "at": 11_000},
+    ],
+}
+
+
+def counters_snapshot(stats):
+    return {
+        key: (
+            c.get_hits,
+            c.get_misses,
+            c.sets,
+            c.shadow_hits,
+            c.evictions,
+            c.dead_requests,
+        )
+        for key, c in stats.by_app_class.items()
+    }
+
+
+def shard_snapshots(result):
+    return [
+        counters_snapshot(server.stats)
+        for server in result.cluster.servers
+    ]
+
+
+def comparable(result):
+    """A result's full serialized form minus wall-clock timings and the
+    worker-count knob itself (the only knob allowed to differ)."""
+    payload = result.to_dict()
+    payload.pop("elapsed_seconds", None)
+    payload.pop("requests_per_sec", None)
+    payload["scenario"]["cluster"].pop("parallel_workers", None)
+    return json.dumps(payload, sort_keys=True)
+
+
+def with_workers(scenario, workers):
+    return scenario.replace(
+        cluster=dict(scenario.cluster, parallel_workers=workers)
+    )
+
+
+def shm_entries():
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - linux only
+        return []
+    return [
+        name
+        for name in os.listdir("/dev/shm")
+        if name.startswith("repro-cols-")
+    ]
+
+
+def assert_parity(scenario, workers=2):
+    serial = run_scenario(scenario, keep_server=True)
+    parallel = run_scenario(
+        with_workers(scenario, workers), keep_server=True
+    )
+    assert comparable(parallel) == comparable(serial)
+    assert shard_snapshots(parallel) == shard_snapshots(serial)
+    assert shm_entries() == []
+    return serial, parallel
+
+
+# ---------------------------------------------------------------------------
+# Parity: every replay mode, whole serialized results
+# ---------------------------------------------------------------------------
+
+
+def test_static_parallel_identical_to_serial():
+    assert_parity(BASE)
+
+
+def test_rebalanced_parallel_identical_to_serial():
+    serial, parallel = assert_parity(
+        BASE.replace(rebalance=dict(REBALANCE)), workers=3
+    )
+    assert (
+        parallel.cluster_report["rebalance"]
+        == serial.cluster_report["rebalance"]
+    )
+    assert parallel.cluster_report["rebalance"]["transfers"] > 0
+
+
+@pytest.mark.parametrize("policy", ["failover", "miss-through"])
+def test_faulted_parallel_identical_to_serial(policy):
+    serial, parallel = assert_parity(
+        BASE.replace(faults=dict(FAULTS, policy=policy))
+    )
+    assert (
+        parallel.cluster_report["faults"]
+        == serial.cluster_report["faults"]
+    )
+
+
+@pytest.mark.parametrize("policy", ["failover", "miss-through"])
+def test_faulted_rebalanced_parallel_identical_to_serial(policy):
+    assert_parity(
+        BASE.replace(
+            faults=dict(FAULTS, policy=policy),
+            rebalance=dict(REBALANCE),
+        ),
+        workers=3,
+    )
+
+
+def test_replicated_parallel_identical_to_serial():
+    assert_parity(
+        BASE.replace(cluster=dict(BASE.cluster, replication=2))
+    )
+
+
+def test_more_workers_than_shards_clamps():
+    # parallel_workers=16 on 4 shards must still run (4 workers) and
+    # still match byte for byte.
+    assert_parity(BASE, workers=16)
+
+
+def test_spawn_start_method_identical_to_fork():
+    workload = load_workload("zipf", scale=0.1, seed=SEED, **WORKLOAD_PARAMS)
+    compiled = workload.compiled
+    scenario = with_workers(BASE, 2)
+    spawn_cluster = build_cluster(scenario, workload)
+    stats = replay_parallel(spawn_cluster, compiled, start_method="spawn")
+    serial_cluster = build_cluster(BASE, workload)
+    serial_stats = serial_cluster.replay_compiled(compiled)
+    assert counters_snapshot(stats) == counters_snapshot(serial_stats)
+    assert [
+        counters_snapshot(s.stats) for s in spawn_cluster.servers
+    ] == [counters_snapshot(s.stats) for s in serial_cluster.servers]
+    assert spawn_cluster.report() == serial_cluster.report()
+    assert shm_entries() == []
+
+
+@settings(max_examples=5, deadline=None)
+@given(
+    workers=st.integers(min_value=2, max_value=5),
+    crash_at=st.integers(min_value=1, max_value=TOTAL - 2),
+    policy=st.sampled_from(["failover", "miss-through"]),
+    rebalance=st.booleans(),
+)
+def test_parallel_matches_serial_on_random_schedules(
+    workers, crash_at, policy, rebalance
+):
+    extra = {"rebalance": dict(REBALANCE)} if rebalance else {}
+    scenario = BASE.replace(
+        faults={
+            "events": [
+                {"kind": "crash", "shard": 2, "at": crash_at},
+                {"kind": "restart", "shard": 2, "at": crash_at + 1},
+            ],
+            "policy": policy,
+        },
+        **extra,
+    )
+    serial = run_scenario(scenario, keep_server=True)
+    parallel = run_scenario(
+        with_workers(scenario, workers), keep_server=True
+    )
+    assert comparable(parallel) == comparable(serial)
+    assert shard_snapshots(parallel) == shard_snapshots(serial)
+
+
+# ---------------------------------------------------------------------------
+# Knob surface
+# ---------------------------------------------------------------------------
+
+
+def test_parallel_workers_requires_partitioned_replay():
+    with pytest.raises(ConfigurationError, match="partitioned_replay"):
+        ClusterConfig(
+            shards=2, partitioned_replay=False, parallel_workers=2
+        )
+
+
+@pytest.mark.parametrize("bad", [-1, True, 2.5, "two"])
+def test_parallel_workers_rejects_bad_values(bad):
+    with pytest.raises(ConfigurationError, match="parallel_workers"):
+        ClusterConfig(shards=2, parallel_workers=bad)
+
+
+def test_parallel_workers_round_trips_and_defaults():
+    config = ClusterConfig.from_dict({"shards": 2, "parallel_workers": 3})
+    assert config.parallel_workers == 3
+    assert ClusterConfig.from_dict(config.to_dict()) == config
+    assert ClusterConfig(shards=2).parallel_workers == 0
+
+
+def test_single_shard_stays_serial():
+    # The dispatch guard: one shard has nothing to fan out, so the
+    # parallel knob is a no-op (no workers, same result).
+    scenario = BASE.replace(cluster={"shards": 1, "virtual_nodes": 4})
+    serial = run_scenario(scenario, keep_server=True)
+    parallel = run_scenario(
+        with_workers(scenario, 4), keep_server=True
+    )
+    assert comparable(parallel) == comparable(serial)
+
+
+def test_sweep_axis_reaches_parallel_workers():
+    from repro.sim import Sweep
+
+    sweep = Sweep(
+        base=BASE, axes={"cluster.parallel_workers": [0, 2]}
+    )
+    results = sweep.run()
+    assert len(results) == 2
+    by_workers = {
+        r.scenario.cluster["parallel_workers"]: r for r in results
+    }
+    assert set(by_workers) == {0, 2}
+    assert (
+        by_workers[2].overall_hit_rate == by_workers[0].overall_hit_rate
+    )
+    assert by_workers[2].hit_rates == by_workers[0].hit_rates
+
+
+# ---------------------------------------------------------------------------
+# Guards and failure modes
+# ---------------------------------------------------------------------------
+
+
+def test_parallel_replay_requires_fresh_cluster():
+    workload = load_workload("zipf", scale=0.1, seed=SEED, **WORKLOAD_PARAMS)
+    compiled = workload.compiled
+    cluster = build_cluster(with_workers(BASE, 2), workload)
+    cluster.replay_compiled(compiled)  # first replay: fine
+    with pytest.raises(ConfigurationError, match="fresh"):
+        cluster.replay_compiled(compiled)  # warm engines: refused
+    assert shm_entries() == []
+
+
+def test_parallel_replay_requires_unscaled_budgets():
+    workload = load_workload("zipf", scale=0.1, seed=SEED, **WORKLOAD_PARAMS)
+    compiled = workload.compiled
+    cluster = build_cluster(with_workers(BASE, 2), workload)
+    cluster.scale_shard_budget(0, cluster.shard_budget(0) * 0.5)
+    with pytest.raises(ConfigurationError, match="unscaled"):
+        cluster.replay_compiled(compiled)
+    assert shm_entries() == []
+
+
+def test_worker_failure_propagates_and_cleans_up():
+    workload = load_workload("zipf", scale=0.1, seed=SEED, **WORKLOAD_PARAMS)
+    compiled = workload.compiled
+    scenario = with_workers(BASE, 2)
+    cluster = build_cluster(scenario, workload)
+    from repro.cluster.routing import build_routing_plan
+
+    plan = build_routing_plan(compiled, cluster.ring, cluster.replication)
+    pool = WorkerPool(cluster, compiled, plan)
+    try:
+        with pytest.raises(RuntimeError, match="worker 0"):
+            # Shard 99 does not exist on any worker: the owning-side
+            # KeyError must come back as a parent-side RuntimeError
+            # carrying the worker traceback.
+            pool._call(0, ("scale", 99, 1.0))
+    finally:
+        pool.shutdown()
+    assert shm_entries() == []
+
+
+# ---------------------------------------------------------------------------
+# Worker-side helpers, in process (subprocess code is invisible to
+# coverage; the replay logic itself is exercised here directly)
+# ---------------------------------------------------------------------------
+
+
+def test_partition_shards_contiguous_and_balanced():
+    blocks = partition_shards(10, 3)
+    assert [len(b) for b in blocks] == [4, 3, 3]
+    assert sorted(sum(blocks, [])) == list(range(10))
+    flat = sum(blocks, [])
+    assert flat == sorted(flat)  # contiguous ascending
+    assert partition_shards(2, 5) == [[0], [1]]  # clamps to shards
+    assert partition_shards(3, 1) == [[0, 1, 2]]
+
+
+def make_direct_cluster(workers=0):
+    scenario = BASE if workers == 0 else with_workers(BASE, workers)
+    workload = load_workload("zipf", scale=0.1, seed=SEED, **WORKLOAD_PARAMS)
+    return build_cluster(scenario, workload), workload.compiled
+
+
+def test_window_runs_matches_serial_window_in_process():
+    import numpy as np
+
+    from repro.cluster.routing import build_routing_plan
+
+    serial_cluster, compiled = make_direct_cluster()
+    plan = build_routing_plan(
+        compiled, serial_cluster.ring, serial_cluster.replication
+    )
+    app_column = np.asarray(compiled.app_ids, dtype=np.int64)
+    serial_cluster._replay_window(
+        compiled, plan.shard_ids, app_column, 0, len(compiled)
+    )
+
+    mirror_cluster, _ = make_direct_cluster()
+    servers = {
+        shard: server
+        for shard, server in enumerate(mirror_cluster.servers)
+    }
+    keys, op_codes, slab_classes, chunk_bytes, item_bytes = (
+        compiled.replay_columns()
+    )
+    runs = window_runs(
+        servers,
+        compiled.app_table,
+        mirror_cluster.shards,
+        keys,
+        op_codes,
+        slab_classes,
+        chunk_bytes,
+        item_bytes,
+        plan.shard_ids,
+        app_column,
+        0,
+        len(compiled),
+    )
+    # The mirror's engines processed everything; its *registries* are
+    # still empty until the tallies are applied (the parent's job).
+    assert all(
+        not server.stats.by_app_class
+        for server in mirror_cluster.servers
+    )
+    apply_runs(mirror_cluster, compiled.app_table, runs)
+    assert [
+        counters_snapshot(s.stats) for s in mirror_cluster.servers
+    ] == [counters_snapshot(s.stats) for s in serial_cluster.servers]
+
+
+def test_window_runs_dead_shards_tally_without_engines():
+    import numpy as np
+
+    from repro.cache.stats import OUTCOME_DEAD
+    from repro.cluster.routing import build_routing_plan
+
+    cluster, compiled = make_direct_cluster()
+    plan = build_routing_plan(compiled, cluster.ring, cluster.replication)
+    app_column = np.asarray(compiled.app_ids, dtype=np.int64)
+    servers = {
+        shard: server for shard, server in enumerate(cluster.servers)
+    }
+    keys, op_codes, slab_classes, chunk_bytes, item_bytes = (
+        compiled.replay_columns()
+    )
+    runs = window_runs(
+        servers,
+        compiled.app_table,
+        cluster.shards,
+        keys,
+        op_codes,
+        slab_classes,
+        chunk_bytes,
+        item_bytes,
+        plan.shard_ids,
+        app_column,
+        0,
+        1_000,
+        dead=frozenset({1}),
+    )
+    dead_runs = [run for run in runs if run[0] == 1]
+    assert dead_runs
+    for _, _, tallies in dead_runs:
+        for packed, count in tallies:
+            assert packed >> 2 == OUTCOME_DEAD
+            assert count > 0
+    # Dead shard 1's engines never saw a request.
+    assert cluster.servers[1].memory_in_use() == 0
+
+
+def test_window_runs_skips_unowned_shards():
+    import numpy as np
+
+    from repro.cluster.routing import build_routing_plan
+
+    cluster, compiled = make_direct_cluster()
+    plan = build_routing_plan(compiled, cluster.ring, cluster.replication)
+    app_column = np.asarray(compiled.app_ids, dtype=np.int64)
+    servers = {0: cluster.servers[0]}  # own shard 0 only
+    keys, op_codes, slab_classes, chunk_bytes, item_bytes = (
+        compiled.replay_columns()
+    )
+    runs = window_runs(
+        servers,
+        compiled.app_table,
+        cluster.shards,
+        keys,
+        op_codes,
+        slab_classes,
+        chunk_bytes,
+        item_bytes,
+        plan.shard_ids,
+        app_column,
+        0,
+        len(compiled),
+    )
+    assert runs
+    assert {run[0] for run in runs} == {0}
+    # An empty window yields no runs at all.
+    assert (
+        window_runs(
+            servers,
+            compiled.app_table,
+            cluster.shards,
+            keys,
+            op_codes,
+            slab_classes,
+            chunk_bytes,
+            item_bytes,
+            plan.shard_ids,
+            app_column,
+            0,
+            0,
+        )
+        == []
+    )
+
+
+def test_build_shard_servers_rejects_misnamed_factory():
+    from repro.sim.defaults import GEOMETRY
+
+    cluster, _ = make_direct_cluster()
+    factory = cluster.engine_factories["zipf01"]
+    with pytest.raises(ConfigurationError, match="factory"):
+        build_shard_servers(
+            GEOMETRY, [0], [("renamed", 1024.0, factory)]
+        )
+
+
+def test_build_shard_servers_builds_cold_owned_shards():
+    from repro.sim.defaults import GEOMETRY
+
+    cluster, _ = make_direct_cluster()
+    apps = [
+        (app, cluster.app_shares[app], cluster.engine_factories[app])
+        for app in cluster.engine_factories
+    ]
+    servers = build_shard_servers(GEOMETRY, [1, 3], apps)
+    assert set(servers) == {1, 3}
+    for shard, server in servers.items():
+        assert isinstance(server, CacheServer)
+        assert server.memory_in_use() == 0
+        assert set(server.engines) == set(cluster.engine_factories)
+        for app, engine in server.engines.items():
+            assert engine.budget_bytes == cluster.app_shares[app]
+
+
+def test_scale_engine_budgets_parity_between_empty_and_full():
+    # The parent-mirror invariant: scaling an empty engine set and a
+    # full one moves budget_bytes identically (only eviction counts --
+    # returned, not stored -- may differ).
+    cold, compiled = make_direct_cluster()
+    warm, _ = make_direct_cluster()
+    warm.replay_compiled(compiled)
+    for target in (0.5, 1.75, 0.1):
+        reference = cold.shard_budget(0) * target
+        scale_engine_budgets(cold.servers[0].engines.values(), reference)
+        scale_engine_budgets(warm.servers[0].engines.values(), reference)
+        assert warm.shard_budget(0) == cold.shard_budget(0)

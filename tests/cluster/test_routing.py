@@ -32,11 +32,12 @@ from repro.cluster import (
 )
 from repro.cluster.hashring import HashRing
 from repro.cluster.routing import (
+    effective_replication,
     hash_keys_u64,
     occurrence_index,
     plan_cache_key,
 )
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, TraceFormatError
 from repro.common.hashing import stable_hash_u64
 from repro.workloads.compiled import CompiledTrace, TraceCache
 from repro.workloads.trace import Request
@@ -289,6 +290,103 @@ def test_bad_replication_rejected():
     trace = compile_trace([("a", "k", "get", 64)])
     with pytest.raises(ConfigurationError, match="replication"):
         build_routing_plan(trace, HashRing(2), 0)
+    # get_routing_plan must reject identically whether or not the cache
+    # already holds the clamped-equivalent plan.
+    cache = TraceCache(directory=None)
+    get_routing_plan(trace, HashRing(2), 1, cache=cache)
+    with pytest.raises(ConfigurationError, match="replication"):
+        get_routing_plan(trace, HashRing(2), 0, cache=cache)
+
+
+def test_effective_replication_single_definition():
+    assert effective_replication(0, 4) == 1
+    assert effective_replication(-3, 4) == 1
+    assert effective_replication(2, 4) == 2
+    assert effective_replication(9, 4) == 4
+    assert effective_replication(1, 1) == 1
+
+
+def test_plan_cache_key_uses_effective_replication():
+    trace = compile_trace([("a", f"k{i}", "get", 64) for i in range(10)])
+    ring = HashRing(3, seed=0)
+    # Over-replication clamps to the shard count: same plan, same key.
+    assert plan_cache_key(trace, ring, 9) == plan_cache_key(trace, ring, 3)
+    assert plan_cache_key(trace, ring, 2) != plan_cache_key(trace, ring, 3)
+
+
+# ---------------------------------------------------------------------------
+# Corrupt plan files: range/shape/dtype validation on load
+# ---------------------------------------------------------------------------
+
+
+def save_tampered_plan(trace, ring, path, **overrides):
+    """Save a valid plan, then overwrite chosen fields with bad values."""
+    plan = build_routing_plan(trace, ring, 2)
+    for name, value in overrides.items():
+        setattr(plan, name, value)
+    return plan.save(path)
+
+
+def test_load_rejects_out_of_range_shard_ids(tmp_path):
+    trace = compile_trace([("a", f"k{i}", "get", 64) for i in range(30)])
+    ring = HashRing(4, seed=0)
+    ids = build_routing_plan(trace, ring, 2).shard_ids.copy()
+    ids[7] = 99  # corrupt: beyond [0, shards)
+    path = save_tampered_plan(trace, ring, tmp_path / "hi.npz", shard_ids=ids)
+    with pytest.raises(TraceFormatError, match="outside"):
+        RoutingPlan.load(path)
+    ids[7] = -1  # corrupt: negative
+    path = save_tampered_plan(trace, ring, tmp_path / "lo.npz", shard_ids=ids)
+    with pytest.raises(TraceFormatError, match="outside"):
+        RoutingPlan.load(path)
+
+
+def test_load_rejects_bad_dtype_shape_and_replication(tmp_path):
+    trace = compile_trace([("a", f"k{i}", "get", 64) for i in range(30)])
+    ring = HashRing(4, seed=0)
+    good = build_routing_plan(trace, ring, 2).shard_ids
+    path = save_tampered_plan(
+        trace, ring, tmp_path / "f.npz", shard_ids=good.astype(np.float64)
+    )
+    with pytest.raises(TraceFormatError, match="integer"):
+        RoutingPlan.load(path)
+    path = save_tampered_plan(
+        trace, ring, tmp_path / "2d.npz", shard_ids=good.reshape(2, -1)
+    )
+    with pytest.raises(TraceFormatError, match="1-d"):
+        RoutingPlan.load(path)
+    # The replication=0-from-disk regression: silently clamping on load
+    # would let a corrupt file disagree with every other consumer.
+    path = save_tampered_plan(trace, ring, tmp_path / "r0.npz", replication=0)
+    with pytest.raises(TraceFormatError, match="replication"):
+        RoutingPlan.load(path)
+    path = save_tampered_plan(trace, ring, tmp_path / "s0.npz", shards=0)
+    with pytest.raises(TraceFormatError, match="shard"):
+        RoutingPlan.load(path)
+
+
+def test_corrupt_cached_plan_is_rebuilt_and_repaired(tmp_path):
+    trace = compile_trace([("a", f"k{i}", "get", 64) for i in range(60)])
+    ring = HashRing(4, seed=0)
+    expected = build_routing_plan(trace, ring, 2)
+    # Poison the on-disk entry with out-of-range shard ids under the
+    # real cache key, then fetch through a cold cache so the load path
+    # (not the memory level) sees the corruption.
+    poisoner = TraceCache(directory=tmp_path)
+    bad = build_routing_plan(trace, ring, 2)
+    bad.shard_ids = bad.shard_ids.copy()
+    bad.shard_ids[0] = 1000
+    key = plan_cache_key(trace, ring, 2)
+    poisoner.store_plan(key, bad)
+    cold = TraceCache(directory=tmp_path)
+    healed = get_routing_plan(trace, ring, 2, cache=cold)
+    assert healed.shard_ids.tolist() == expected.shard_ids.tolist()
+    # Same recovery path as the stale-entry branch: the corrupt file was
+    # overwritten, so a third cache instance loads the repair directly.
+    reloaded = TraceCache(directory=tmp_path).get_or_build_plan(
+        key, lambda: None
+    )
+    assert reloaded.shard_ids.tolist() == expected.shard_ids.tolist()
 
 
 # ---------------------------------------------------------------------------

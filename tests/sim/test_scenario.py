@@ -113,6 +113,7 @@ def test_cluster_block_normalized_with_defaults():
         "replication": 1,
         "virtual_nodes": 64,
         "partitioned_replay": True,
+        "parallel_workers": 0,
     }
     assert Scenario.from_dict(scenario.to_dict()) == scenario
     assert "4shards" in scenario.label()

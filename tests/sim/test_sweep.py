@@ -94,6 +94,38 @@ def test_parallel_results_identical_to_serial():
     assert [r.requests for r in parallel] == [r.requests for r in serial]
 
 
+def test_spawn_workers_identical_to_serial(tmp_path, monkeypatch):
+    """The pool pins an explicit mp context: under spawn, workers
+    re-import everything yet must attach to the parent's trace-cache
+    directory (not re-read the environment) and reproduce the serial
+    results bit for bit."""
+    from repro.workloads import compiled
+
+    monkeypatch.setattr(
+        compiled.GLOBAL_TRACE_CACHE, "directory", tmp_path
+    )
+    # Make the env disagree with the parent's configured directory so an
+    # env-re-reading spawn worker would provably diverge.
+    monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+    sweep = tiny_sweep(axes={"seed": [0, 1]})
+    serial = sweep.run()
+    spawned = sweep.run(workers=2, start_method="spawn")
+    assert spawned.workers == 2
+    assert [r.scenario for r in spawned] == [r.scenario for r in serial]
+    assert [r.hit_rates for r in spawned] == [r.hit_rates for r in serial]
+    assert [r.requests for r in spawned] == [r.requests for r in serial]
+    # The workers shared the parent's on-disk store: the compiles they
+    # wrote landed in tmp_path, not wherever the env pointed.
+    assert any(tmp_path.iterdir())
+
+
+def test_bad_start_method_rejected():
+    from repro.common.mp import get_mp_context
+
+    with pytest.raises(ConfigurationError, match="start method"):
+        get_mp_context("threads")
+
+
 def test_run_sweep_spec_roundtrip():
     spec = {
         "base": {
