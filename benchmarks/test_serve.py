@@ -12,6 +12,10 @@ Two measurements:
   a real asyncio TCP socket (``run_serve`` with the ``tcp``
   transport), overdriven in queue mode so the achieved rate is the
   server's sustainable capacity, not the offered schedule.
+* **chaos** -- the drag of arming the fault-injection machinery on a
+  run where no fault ever fires: with ``BENCH_ENFORCE`` the armed run
+  must keep >= 90% of plain throughput. A real crash+restart run with
+  client retries rides along in the artifact, ungated.
 
 Like ``test_cluster_replay``, throughput is normalized by a
 pure-Python calibration loop so the checked-in baseline
@@ -186,6 +190,89 @@ def test_loopback_tcp_throughput(workload):
     assert best.result.achieved_rate > 0
 
 
+def test_chaos_overhead(workload):
+    """Arming the fault machinery must not tax the no-fault hot path.
+
+    Serves the same fixed-rate run twice in memory transport: once
+    plain, once with a :class:`FaultInjector` attached whose only
+    events lie past the end of the run -- the barrier bookkeeping and
+    per-window latency timeline are live, but no crash ever fires.
+    Under ``BENCH_ENFORCE`` the armed run must keep >= 90% of the
+    plain run's throughput (the <=10% drag budget). A third, real
+    crash+restart run with client retries is recorded for the artifact
+    but not gated: its throughput legitimately drops while a shard is
+    down.
+    """
+    from repro.cluster.faults import FaultEvent, FaultInjector, FaultSchedule
+
+    config = ServeConfig(
+        rate=300_000.0,
+        duration_s=0.2,
+        arrivals="fixed",
+        backpressure="queue",
+        connections=2,
+        transport="memory",
+    )
+    total = int(config.rate * config.duration_s)
+
+    def measure(schedule, retry=None):
+        run_config = (
+            config
+            if retry is None
+            else ServeConfig(**dict(config.to_dict(), retry=retry))
+        )
+        best = None
+        for _ in range(ROUNDS):
+            cluster = make_cluster()
+            if schedule is not None:
+                cluster.attach_faults(FaultInjector(cluster, schedule))
+            report = run_serve(cluster, workload.compiled, run_config, seed=0)
+            rate = report.result.achieved_rate
+            if best is None or rate > best:
+                best = rate
+        return best
+
+    beyond = FaultSchedule(
+        events=(
+            FaultEvent(kind="crash", shard=1, at=total * 10),
+            FaultEvent(kind="restart", shard=1, at=total * 20),
+        )
+    )
+    live = FaultSchedule(
+        events=(
+            FaultEvent(kind="crash", shard=1, at=total // 2),
+            FaultEvent(kind="restart", shard=1, at=(3 * total) // 4),
+        )
+    )
+    plain = measure(None)
+    armed = measure(beyond)
+    crashed = measure(
+        live, retry={"max_attempts": 3, "base_backoff_s": 0.0005}
+    )
+    drag = armed / plain
+    RESULTS["chaos"] = {
+        "shards": SHARDS,
+        "requests": total,
+        "plain_requests_per_sec": plain,
+        "armed_requests_per_sec": armed,
+        "armed_over_plain": drag,
+        "crash_requests_per_sec": crashed,
+    }
+    print(
+        f"\n[serve-chaos] plain {plain:,.0f} req/s, armed {armed:,.0f} "
+        f"req/s ({drag:.2f}x), crash+retry {crashed:,.0f} req/s "
+        f"(best of {ROUNDS})"
+    )
+    if drag < 0.9:
+        message = (
+            f"armed fault machinery drags no-fault serve throughput to "
+            f"{drag:.2f}x plain (floor: 0.90x)"
+        )
+        if os.environ.get("BENCH_ENFORCE"):
+            pytest.fail(message)
+        print(f"WARNING: {message}")
+
+
 def test_write_artifact():
     if "service" not in RESULTS:
         pytest.skip("throughput tests were deselected; nothing to write")
@@ -206,6 +293,13 @@ def test_write_artifact():
             normalized_score=(
                 RESULTS["loopback"]["achieved_requests_per_sec"]
                 / calibration
+            ),
+        )
+    if "chaos" in RESULTS:
+        payload["chaos"] = dict(
+            RESULTS["chaos"],
+            normalized_score=(
+                RESULTS["chaos"]["armed_requests_per_sec"] / calibration
             ),
         )
     ARTIFACT_PATH.write_text(json.dumps(payload, indent=2), encoding="utf-8")

@@ -309,6 +309,28 @@ def render_cluster_report(payload: Dict[str, Any]) -> List[str]:
                 f"    queue depth: mean "
                 f"{sum(depths) / len(depths):.1f}, max {max(depths)}"
             )
+        retries = serve.get("retries", 0)
+        hedges = serve.get("hedges", 0)
+        timeouts = serve.get("timeouts", 0)
+        shed_expired = serve.get("shed_expired", 0)
+        if retries or hedges or timeouts or shed_expired:
+            lines.append(
+                f"    retries {retries:,}, hedges {hedges:,}, "
+                f"timeouts {timeouts:,}, expired-in-queue "
+                f"{shed_expired:,}"
+            )
+        serve_faults = serve.get("faults")
+        if serve_faults is not None:
+            timeline = serve_faults.get("latency_timeline", [])
+            timed = [w for w in timeline if w["completed"]]
+            if timed:
+                worst = max(timed, key=lambda w: w["p99_ms"])
+                lines.append(
+                    f"    p99 timeline: worst window "
+                    f"[{worst['start']:,}, {worst['stop']:,}) at "
+                    f"{worst['p99_ms']:.2f} ms, final window "
+                    f"{timed[-1]['p99_ms']:.2f} ms"
+                )
     return lines
 
 
@@ -514,6 +536,12 @@ class Cluster:
             return self.fault_injector.live
         return [True] * len(self.servers)
 
+    @property
+    def object_requests(self) -> int:
+        """Requests processed through the object API (:meth:`process` /
+        :meth:`process_batch`) -- the live server's virtual clock."""
+        return self._object_requests
+
     # ------------------------------------------------------------------
 
     def _route_mask(self) -> Tuple[bool, ...]:
@@ -576,14 +604,28 @@ class Cluster:
     def _after_object_requests(self, count: int) -> None:
         """Advance the object-API request counter; with a rebalancer
         attached, fire the epoch barrier exactly where the replay loops
-        would (after every ``epoch_requests``-th request). Callers that
-        batch must split at epoch boundaries before calling this."""
+        would (after every ``epoch_requests``-th request), and with a
+        *serving* fault injector
+        (:meth:`~repro.cluster.faults.FaultInjector.begin_serving`) run
+        its barrier hooks in replay order -- sampling, epoch, events.
+        Callers that batch must split at epoch *and* fault barriers
+        before calling this."""
         self._object_requests += count
+        injector = self.fault_injector
+        at_barrier = (
+            injector is not None
+            and injector.serving
+            and injector.is_barrier(self._object_requests)
+        )
+        if at_barrier:
+            injector.on_barrier(self._object_requests)
         rebalancer = self.rebalancer
         if rebalancer is not None:
             epoch = rebalancer.config.epoch_requests
             if epoch and self._object_requests % epoch == 0:
                 rebalancer.on_epoch()
+        if at_barrier:
+            injector.apply_events(self._object_requests)
 
     def process(self, request: Request) -> AccessOutcome:
         """Route one request to its shard (object API).
@@ -654,7 +696,17 @@ class Cluster:
         class_column, chunk_column, item_column = self._batch_classes(
             keys, value_sizes, key_sizes, count
         )
-        shard_column = self._route_batch(keys, count)
+        injector = self.fault_injector
+        serving_faults = injector is not None and injector.serving
+        if serving_faults:
+            # The live mask can flip at a fault barrier mid-batch, so
+            # routing must happen per window, after events apply; the
+            # occurrence-index replica turns still advance through the
+            # same global sequence because each window routes its slice
+            # against the memoized counters.
+            shard_column = np.empty(count, dtype=np.int64)
+        else:
+            shard_column = self._route_batch(keys, count)
         out = np.empty(count, dtype=np.int64)
         rebalancer = self.rebalancer
         epoch = (
@@ -666,6 +718,15 @@ class Cluster:
             if epoch:
                 into_epoch = self._object_requests % epoch
                 stop = min(count, start + epoch - into_epoch)
+            if serving_faults:
+                barrier = injector.next_barrier(self._object_requests)
+                if barrier is not None:
+                    stop = min(
+                        stop, start + barrier - self._object_requests
+                    )
+                shard_column[start:stop] = self._route_batch(
+                    keys[start:stop], stop - start
+                )
             self._process_batch_window(
                 keys,
                 op_column,

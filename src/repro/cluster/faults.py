@@ -38,6 +38,7 @@ downtime, attributable miss cost, and time-to-recover are derived.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -292,6 +293,12 @@ class FaultInjector:
         self._last_hits = 0
         self._last_gets = 0
         self._window_rate = 0.0
+        #: True between :meth:`begin_serving` and :meth:`finish_serving`:
+        #: the cluster's object API drives the barriers incrementally
+        #: instead of the replay loops iterating :meth:`windows`.
+        self.serving = False
+        self._barrier_offsets: List[int] = []
+        self._barrier_set: frozenset = frozenset()
 
     # ------------------------------------------------------------------
     # Replay protocol
@@ -330,6 +337,47 @@ class FaultInjector:
     def windows(self) -> List[Tuple[int, int]]:
         """The replay's ``(start, stop)`` windows between barriers."""
         return self._windows
+
+    # ------------------------------------------------------------------
+    # Live-serving protocol
+    # ------------------------------------------------------------------
+
+    def begin_serving(self, total: int, epoch_requests: int = 0) -> None:
+        """Arm the schedule for the live server's virtual-time axis.
+
+        ``total`` is the *scheduled* request count (``rate x duration``
+        rounded): the same value an offline replay of that many requests
+        would pass to :meth:`begin`, so the barrier layout -- sampling
+        grid, epoch boundaries, event offsets -- is identical. The
+        cluster's object API then consumes the barriers incrementally
+        (:meth:`next_barrier` / :meth:`is_barrier`) as drained requests
+        flow through :meth:`~repro.cluster.Cluster.process_batch`:
+        virtual time is "requests processed", so a fixed seed and
+        schedule reproduce the identical fault timeline no matter how
+        the event loop interleaves connections.
+        """
+        self.begin(total, epoch_requests)
+        self._barrier_offsets = sorted(stop for _, stop in self._windows)
+        self._barrier_set = frozenset(self._barrier_offsets)
+        self.serving = True
+
+    def next_barrier(self, processed: int) -> Optional[int]:
+        """The first barrier offset strictly after ``processed``."""
+        index = bisect_right(self._barrier_offsets, processed)
+        if index >= len(self._barrier_offsets):
+            return None
+        return self._barrier_offsets[index]
+
+    def is_barrier(self, offset: int) -> bool:
+        return offset in self._barrier_set
+
+    def finish_serving(self, processed: int) -> None:
+        """Close the run at ``processed`` requests: sample the tail
+        window (an under-driven run never reaches the ``total`` barrier)
+        and disarm the live clock."""
+        if self.serving and not self.is_barrier(processed):
+            self.on_barrier(processed)
+        self.serving = False
 
     def dead_shards(self) -> frozenset:
         """Currently-crashed shard indices (miss-through tagging)."""

@@ -122,25 +122,42 @@ def _print_listing() -> None:
         "backpressure (queue|shed),"
     )
     print(
-        "    connections, queue_depth, max_batch, transport (memory|tcp); "
-        "requires a cluster"
+        "    connections, queue_depth, max_batch, transport (memory|tcp), "
+        "queue_deadline_s"
     )
     print(
-        "    block, incompatible with faults. Serves the trace live "
-        "through the asyncio"
+        "    (shed queued commands older than this; 0 = never), "
+        "max_inflight (per-connection"
     )
     print(
-        "    memcached-style server (open-loop load, latency "
-        "percentiles, shed counts);"
+        "    cap; 0 = unlimited), retry {max_attempts, base_backoff_s, "
+        "max_backoff_s, jitter,"
     )
     print(
-        "    'queue' blocks readers when the request queue fills, "
-        "'shed' answers"
+        "    deadline_s, budget, hedge_after_s}; requires a cluster "
+        "block. Serves the trace"
     )
     print(
-        "    SERVER_ERROR busy. Standalone entry point: "
-        "python -m repro.serve (repro-serve)"
+        "    live through the asyncio memcached-style server (open-loop "
+        "load, latency"
     )
+    print(
+        "    percentiles, shed counts); 'queue' blocks readers when the "
+        "request queue fills,"
+    )
+    print(
+        "    'shed' answers SERVER_ERROR busy. Combined with a faults "
+        "block the events fire"
+    )
+    print(
+        "    live on the request-count axis and the serve report grows "
+        "recovery metrics plus"
+    )
+    print(
+        "    a p99-during-outage latency timeline. Standalone entry "
+        "point: python -m repro.serve"
+    )
+    print("    (repro-serve)")
 
 
 def _load_spec(target: str) -> dict:

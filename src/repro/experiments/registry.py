@@ -19,6 +19,7 @@ from repro.experiments import (
     fig8_timeline,
     fig9_convergence,
     sensitivity,
+    serve_chaos,
     table1_slab_misses,
     table2_lsm,
     table3_cross_app,
@@ -52,6 +53,7 @@ REGISTRY: Dict[str, Runner] = {
     "cluster_rebalance": cluster_rebalance.run,
     "cluster_faults": cluster_faults.run,
     "cluster_serve": cluster_serve.run,
+    "serve_chaos": serve_chaos.run,
 }
 
 

@@ -12,7 +12,13 @@ every queue drain executes as one vectorized call.
 
 from repro.serve.harness import ServeConfig, ServeReport, run_serve
 from repro.serve.histogram import LatencyHistogram
-from repro.serve.loadgen import LoadGenerator, LoadResult, commands_from_trace
+from repro.serve.loadgen import (
+    LoadGenerator,
+    LoadResult,
+    LoadWindow,
+    RetryPolicy,
+    commands_from_trace,
+)
 from repro.serve.protocol import Command, ProtocolParser
 from repro.serve.server import CacheServerProcess, MemoryClient, TCPClient
 from repro.serve.service import CacheService
@@ -24,8 +30,10 @@ __all__ = [
     "LatencyHistogram",
     "LoadGenerator",
     "LoadResult",
+    "LoadWindow",
     "MemoryClient",
     "ProtocolParser",
+    "RetryPolicy",
     "ServeConfig",
     "ServeReport",
     "TCPClient",

@@ -20,6 +20,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import signal
 import sys
 from typing import List, Optional
 
@@ -62,6 +63,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--per-request",
         action="store_true",
         help="pin the server to the per-request oracle path (baseline)",
+    )
+    parser.add_argument(
+        "--retry-attempts",
+        type=int,
+        default=1,
+        metavar="N",
+        help="client attempts per request (1 = fire once, no retries)",
+    )
+    parser.add_argument(
+        "--retry-deadline",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="give up retrying S seconds after the scheduled arrival "
+        "(0 = no deadline)",
+    )
+    parser.add_argument(
+        "--hedge-after",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="hedge GETs onto a second connection after S seconds "
+        "(0 = off)",
+    )
+    parser.add_argument(
+        "--queue-deadline",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="server sheds queued commands older than S seconds "
+        "(0 = never)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=0,
+        metavar="N",
+        help="per-connection in-flight cap; excess answered BUSY "
+        "(0 = unlimited)",
+    )
+    parser.add_argument(
+        "--crash",
+        action="append",
+        default=[],
+        metavar="SHARD@OFFSET",
+        help="crash SHARD after OFFSET served requests (repeatable)",
+    )
+    parser.add_argument(
+        "--restart",
+        action="append",
+        default=[],
+        metavar="SHARD@OFFSET",
+        help="restart SHARD cold after OFFSET served requests "
+        "(repeatable)",
+    )
+    parser.add_argument(
+        "--fault-policy",
+        choices=("failover", "miss-through"),
+        default="failover",
+        help="routing for dead shards' keys",
     )
     parser.add_argument(
         "--listen",
@@ -112,10 +173,53 @@ def _build_cluster(args):
     return cluster, trace
 
 
+def _parse_events(args) -> List[dict]:
+    events = []
+    for kind, specs in (("crash", args.crash), ("restart", args.restart)):
+        for spec in specs:
+            shard_text, sep, offset_text = spec.partition("@")
+            try:
+                if not sep:
+                    raise ValueError(spec)
+                events.append(
+                    {
+                        "kind": kind,
+                        "shard": int(shard_text),
+                        "at": int(offset_text),
+                    }
+                )
+            except ValueError:
+                raise ConfigurationError(
+                    f"--{kind} wants SHARD@OFFSET, got {spec!r}"
+                ) from None
+    return events
+
+
+def _attach_faults(args, cluster) -> None:
+    events = _parse_events(args)
+    if not events:
+        return
+    from repro.cluster import FaultInjector, FaultSchedule
+
+    schedule = FaultSchedule.from_dict(
+        {"events": events, "policy": args.fault_policy}
+    )
+    schedule.validate_for(args.shards)
+    cluster.attach_faults(FaultInjector(cluster, schedule))
+
+
 def _run_measurement(args) -> int:
     from repro.serve.harness import ServeConfig, run_serve
 
     cluster, trace = _build_cluster(args)
+    _attach_faults(args, cluster)
+    retry = None
+    if args.retry_attempts > 1 or args.hedge_after > 0:
+        retry = {
+            "max_attempts": max(1, args.retry_attempts),
+            "deadline_s": args.retry_deadline,
+            "hedge_after_s": args.hedge_after,
+        }
     config = ServeConfig(
         rate=args.rate,
         duration_s=args.duration,
@@ -126,6 +230,9 @@ def _run_measurement(args) -> int:
         max_batch=args.max_batch,
         transport=args.transport,
         per_request=args.per_request,
+        queue_deadline_s=args.queue_deadline,
+        max_inflight=args.max_inflight,
+        retry=retry,
     )
     report = run_serve(cluster, trace.compiled, config, seed=args.seed)
     payload = report.to_dict()
@@ -165,14 +272,29 @@ def _run_listener(args) -> int:
             backpressure=args.backpressure,
             queue_depth=args.queue_depth,
             max_batch=args.max_batch,
+            queue_deadline_s=args.queue_deadline,
+            max_inflight=args.max_inflight,
         )
         bound_host, bound_port = await server.start_tcp(host, port)
         print(f"serving on {bound_host}:{bound_port} (Ctrl-C stops)")
         sys.stdout.flush()
+        stopping = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        # Graceful shutdown: stop accepting, drain the queue and
+        # in-flight connections, then exit 0 -- clients with pipelined
+        # requests in the queue still get their responses.
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stopping.set)
+            except (NotImplementedError, RuntimeError):
+                # Platforms without loop signal support (or non-main
+                # threads in tests) fall back to KeyboardInterrupt.
+                break
         try:
-            await asyncio.Event().wait()
+            await stopping.wait()
         finally:
-            await server.close()
+            await server.shutdown()
+        print("stopped (drained)")
 
     try:
         asyncio.run(serve_forever())

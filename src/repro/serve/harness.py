@@ -7,6 +7,16 @@ trace open-loop through the :class:`~repro.serve.loadgen.LoadGenerator`
 and returns a :class:`ServeReport` whose ``to_dict`` payload is exactly
 what :func:`repro.cluster.cluster.render_cluster_report` renders as the
 ``serve`` section.
+
+Chaos serving: when the cluster arrives with a
+:class:`~repro.cluster.faults.FaultInjector` attached, the harness arms
+it on the **virtual-time axis** -- barrier offsets are counts of
+requests processed through :meth:`~repro.cluster.Cluster.process_batch`,
+not wall-clock seconds -- so a fixed seed and schedule reproduce the
+identical fault timeline regardless of event-loop interleaving. The
+report then grows a ``faults`` section: the injector's per-crash
+recovery metrics plus a scheduled-index latency timeline (the
+p99-during-outage view).
 """
 
 from __future__ import annotations
@@ -18,8 +28,10 @@ from typing import Any, Dict, Optional
 from repro.common.errors import ConfigurationError
 from repro.serve.loadgen import (
     ARRIVAL_MODES,
+    DEFAULT_TIMELINE_WINDOWS,
     LoadGenerator,
     LoadResult,
+    RetryPolicy,
     commands_from_trace,
 )
 from repro.serve.server import (
@@ -53,6 +65,14 @@ class ServeConfig:
     #: Pin the worker to the per-request oracle path (benchmark
     #: baseline); the batch path is the default and the product.
     per_request: bool = False
+    #: Server-side graceful degradation: drained commands older than
+    #: this are answered ``BUSY`` unexecuted (0 = never expire).
+    queue_deadline_s: float = 0.0
+    #: Per-connection in-flight cap (0 = unlimited).
+    max_inflight: int = 0
+    #: Client retry/backoff block (:class:`RetryPolicy` shape); ``None``
+    #: means fire-once clients, exactly the pre-retry behavior.
+    retry: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.rate <= 0:
@@ -88,6 +108,27 @@ class ServeConfig:
                 f"transport must be one of {TRANSPORTS}, "
                 f"got {self.transport!r}"
             )
+        if self.queue_deadline_s < 0:
+            raise ConfigurationError(
+                f"queue_deadline_s must be >= 0, got {self.queue_deadline_s}"
+            )
+        if self.max_inflight < 0:
+            raise ConfigurationError(
+                f"max_inflight must be >= 0, got {self.max_inflight}"
+            )
+        if self.retry is not None:
+            # Validate and normalize (defaults filled in) so round-trips
+            # and sweep axes over ``serve.retry.*`` are canonical.
+            object.__setattr__(
+                self, "retry", RetryPolicy.from_dict(self.retry).to_dict()
+            )
+
+    def retry_policy(self) -> Optional[RetryPolicy]:
+        """The parsed retry block, or ``None`` for fire-once clients."""
+        if self.retry is None:
+            return None
+        policy = RetryPolicy.from_dict(self.retry)
+        return policy if policy.enabled else None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -100,6 +141,9 @@ class ServeConfig:
             "max_batch": self.max_batch,
             "transport": self.transport,
             "per_request": self.per_request,
+            "queue_deadline_s": self.queue_deadline_s,
+            "max_inflight": self.max_inflight,
+            "retry": dict(self.retry) if self.retry is not None else None,
         }
 
     @classmethod
@@ -113,7 +157,7 @@ class ServeConfig:
         known = {
             "rate", "duration_s", "arrivals", "backpressure",
             "connections", "queue_depth", "max_batch", "transport",
-            "per_request",
+            "per_request", "queue_deadline_s", "max_inflight", "retry",
         }
         unknown = set(payload) - known
         if unknown:
@@ -131,6 +175,12 @@ class ServeReport:
     result: LoadResult
     queue_depths: Any
     batches: int
+    #: Server-side graceful-degradation counters.
+    shed_expired: int = 0
+    shed_inflight: int = 0
+    #: The chaos section: the fault injector's recovery metrics plus the
+    #: scheduled-index latency timeline; ``None`` for fault-free runs.
+    faults: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -146,11 +196,24 @@ class ServeReport:
             "completed": self.result.completed,
             "shed": self.result.shed,
             "errors": self.result.errors,
+            "timeouts": self.result.timeouts,
+            "retries": self.result.retries,
+            "hedges": self.result.hedges,
+            "shed_expired": self.shed_expired,
+            "shed_inflight": self.shed_inflight,
+            "retry": (
+                dict(self.config.retry)
+                if self.config.retry is not None
+                else None
+            ),
             "latency_ms": self.result.histogram.summary_ms(),
             "queue_depth": {
                 "depths": list(self.queue_depths),
                 "batches": self.batches,
             },
+            "faults": (
+                dict(self.faults) if self.faults is not None else None
+            ),
         }
 
 
@@ -162,8 +225,10 @@ def run_serve(
     Builds the service + server around the cluster, prepares the
     trace's requests as wire commands, runs the generator at the
     configured offered rate, and tears everything down. The cluster
-    keeps all state the run produced (counters, rebalance epochs), so
-    callers report on it afterwards exactly like an offline replay.
+    keeps all state the run produced (counters, rebalance epochs, fault
+    records), so callers report on it afterwards exactly like an
+    offline replay. A fault injector already attached to the cluster is
+    armed on the virtual-time axis for the scheduled request count.
     """
     return asyncio.run(_run_serve(cluster, compiled, config, seed))
 
@@ -178,18 +243,29 @@ async def _run_serve(
         queue_depth=config.queue_depth,
         max_batch=config.max_batch,
         per_request=config.per_request,
+        queue_deadline_s=config.queue_deadline_s,
+        max_inflight=config.max_inflight,
     )
-    prepared = min(
-        MAX_PREPARED_COMMANDS,
-        max(1, round(config.rate * config.duration_s)),
-    )
+    scheduled = max(1, round(config.rate * config.duration_s))
+    prepared = min(MAX_PREPARED_COMMANDS, scheduled)
     work = commands_from_trace(compiled, limit=prepared)
+    injector = getattr(cluster, "fault_injector", None)
     generator = LoadGenerator(
         rate=config.rate,
         duration_s=config.duration_s,
         arrivals=config.arrivals,
         seed=seed,
+        retry=config.retry_policy(),
+        timeline_windows=(
+            DEFAULT_TIMELINE_WINDOWS if injector is not None else 0
+        ),
     )
+    if injector is not None:
+        rebalancer = cluster.rebalancer
+        epoch = (
+            rebalancer.config.epoch_requests if rebalancer is not None else 0
+        )
+        injector.begin_serving(scheduled, epoch)
     tcp_clients = []
     try:
         if config.transport == "tcp":
@@ -209,9 +285,20 @@ async def _run_serve(
         for client in tcp_clients:
             await client.close()
         await server.close()
+        if injector is not None:
+            injector.finish_serving(cluster.object_requests)
+    faults_payload = None
+    if injector is not None:
+        faults_payload = injector.to_dict()
+        faults_payload["latency_timeline"] = [
+            window.to_dict() for window in result.windows
+        ]
     return ServeReport(
         config=config,
         result=result,
         queue_depths=server.metrics.queue_depths,
         batches=server.metrics.batches,
+        shed_expired=server.metrics.shed_expired,
+        shed_inflight=server.metrics.shed_inflight,
+        faults=faults_payload,
     )

@@ -51,31 +51,56 @@ BACKPRESSURE_POLICIES = ("queue", "shed")
 class ServerMetrics:
     """Counters the harness reports: shed, totals, queue-depth samples."""
 
-    __slots__ = ("requests", "shed", "batches", "queue_depths")
+    __slots__ = (
+        "requests",
+        "shed",
+        "shed_expired",
+        "shed_inflight",
+        "batches",
+        "queue_depths",
+    )
 
     def __init__(self) -> None:
         self.requests = 0
         self.shed = 0
+        #: Queued commands dropped unexecuted because they outlived the
+        #: server's queue deadline before the worker drained them.
+        self.shed_expired = 0
+        #: Commands rejected because their connection hit the
+        #: per-connection in-flight cap.
+        self.shed_inflight = 0
         self.batches = 0
         #: Queue depth sampled at each worker wake (commands pending
         #: including the batch about to run) -- the overload timeline.
         self.queue_depths: List[int] = []
 
+    @property
+    def queue_depth_high_water(self) -> int:
+        return max(self.queue_depths) if self.queue_depths else 0
+
     def to_dict(self) -> dict:
         return {
             "requests": self.requests,
             "shed": self.shed,
+            "shed_expired": self.shed_expired,
+            "shed_inflight": self.shed_inflight,
             "batches": self.batches,
             "depths": list(self.queue_depths),
         }
 
 
 class _Job:
-    __slots__ = ("command", "future")
+    __slots__ = ("command", "future", "enqueued_at")
 
-    def __init__(self, command: Command, future: "asyncio.Future[bytes]"):
+    def __init__(
+        self,
+        command: Command,
+        future: "asyncio.Future[bytes]",
+        enqueued_at: float = 0.0,
+    ):
         self.command = command
         self.future = future
+        self.enqueued_at = enqueued_at
 
 
 class CacheServerProcess:
@@ -93,6 +118,8 @@ class CacheServerProcess:
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
         max_batch: int = DEFAULT_MAX_BATCH,
         per_request: bool = False,
+        queue_deadline_s: float = 0.0,
+        max_inflight: int = 0,
     ) -> None:
         if backpressure not in BACKPRESSURE_POLICIES:
             raise ConfigurationError(
@@ -103,10 +130,28 @@ class CacheServerProcess:
             raise ConfigurationError("queue_depth must be >= 1")
         if max_batch < 1:
             raise ConfigurationError("max_batch must be >= 1")
+        if queue_deadline_s < 0:
+            raise ConfigurationError("queue_deadline_s must be >= 0")
+        if max_inflight < 0:
+            raise ConfigurationError("max_inflight must be >= 0")
         self.service = service
         self.backpressure = backpressure
         self.max_batch = max_batch
+        #: Graceful degradation: a drained command older than this is
+        #: answered ``BUSY`` without executing -- its client already
+        #: gave up, executing it would only delay live requests
+        #: (0 = never expire).
+        self.queue_deadline_s = queue_deadline_s
+        #: Per-connection in-flight cap: commands submitted but not yet
+        #: answered; past it the connection is answered ``BUSY`` in-band
+        #: so one pipelining client cannot monopolize the queue
+        #: (0 = unlimited).
+        self.max_inflight = max_inflight
         self.metrics = ServerMetrics()
+        # The stats wire command surfaces server counters alongside the
+        # cache totals; the service renders them.
+        service.server_metrics = self.metrics
+        service.server = self
         #: True pins the worker to the per-request oracle path -- the
         #: benchmark's baseline, never the default.
         self.per_request = per_request
@@ -116,6 +161,7 @@ class CacheServerProcess:
         self._worker: Optional[asyncio.Task] = None
         self._tcp_server: Optional[asyncio.AbstractServer] = None
         self._connections: set = set()
+        self._inflight: dict = {}
 
     # -- lifecycle -----------------------------------------------------
 
@@ -152,17 +198,55 @@ class CacheServerProcess:
                 pass
             self._worker = None
 
+    async def shutdown(self) -> None:
+        """Graceful close: stop accepting, answer everything already
+        queued, let the connection writers flush, then tear down.
+
+        This is what SIGINT/SIGTERM trigger in ``repro-serve --listen``:
+        in-flight pipelines get their responses before the sockets
+        close, instead of :meth:`close`'s cancel-first teardown.
+        """
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+            self._tcp_server = None
+        if self._worker is not None:
+            await self._queue.join()
+        # Resolved futures still sit in per-connection outboxes; yield
+        # so the write loops drain them onto the wire before close()
+        # cancels the reader tasks out from under them.
+        await asyncio.sleep(0)
+        await asyncio.sleep(0)
+        await self.close()
+
     # -- submission ----------------------------------------------------
 
-    async def submit(self, command: Command) -> "asyncio.Future[bytes]":
+    async def submit(
+        self, command: Command, owner: object = None
+    ) -> "asyncio.Future[bytes]":
         """Queue one command; the returned future resolves to response
         bytes. Under ``shed`` a full queue resolves it to ``BUSY`` at
-        once; under ``queue`` this call blocks until a slot frees."""
-        future: "asyncio.Future[bytes]" = (
-            asyncio.get_running_loop().create_future()
-        )
-        job = _Job(command, future)
+        once; under ``queue`` this call blocks until a slot frees.
+        ``owner`` identifies the submitting connection for the
+        per-connection in-flight cap."""
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[bytes]" = loop.create_future()
         self.metrics.requests += 1
+        if (
+            self.max_inflight
+            and owner is not None
+            and self._inflight.get(owner, 0) >= self.max_inflight
+        ):
+            self.metrics.shed_inflight += 1
+            self.metrics.shed += 1
+            future.set_result(BUSY)
+            return future
+        job = _Job(command, future, enqueued_at=loop.time())
+        if owner is not None:
+            self._inflight[owner] = self._inflight.get(owner, 0) + 1
+            future.add_done_callback(
+                lambda _, owner=owner: self._release_inflight(owner)
+            )
         if self.backpressure == "shed":
             try:
                 self._queue.put_nowait(job)
@@ -172,6 +256,13 @@ class CacheServerProcess:
         else:
             await self._queue.put(job)
         return future
+
+    def _release_inflight(self, owner: object) -> None:
+        count = self._inflight.get(owner, 0) - 1
+        if count > 0:
+            self._inflight[owner] = count
+        else:
+            self._inflight.pop(owner, None)
 
     async def _work_loop(self) -> None:
         while True:
@@ -186,23 +277,46 @@ class CacheServerProcess:
             self.metrics.queue_depths.append(
                 len(jobs) + self._queue.qsize()
             )
-            commands = [item.command for item in jobs]
-            try:
-                if self.per_request:
-                    responses = self.service.execute_per_request(commands)
-                else:
-                    responses = self.service.execute(commands)
-            except Exception:  # the server must never die mid-batch
-                responses = [server_error("internal error")] * len(jobs)
-            for item, response in zip(jobs, responses):
-                if not item.future.done():
-                    item.future.set_result(response)
-            for _ in jobs:
-                self._queue.task_done()
+            if self.queue_deadline_s > 0:
+                jobs = self._shed_expired(jobs)
+            if jobs:
+                commands = [item.command for item in jobs]
+                try:
+                    if self.per_request:
+                        responses = self.service.execute_per_request(
+                            commands
+                        )
+                    else:
+                        responses = self.service.execute(commands)
+                except Exception:  # the server must never die mid-batch
+                    responses = [server_error("internal error")] * len(jobs)
+                for item, response in zip(jobs, responses):
+                    if not item.future.done():
+                        item.future.set_result(response)
+                for _ in jobs:
+                    self._queue.task_done()
             # One cooperative yield per batch: get_nowait() above never
             # awaits, so back-to-back full batches would otherwise
             # starve the readers feeding the queue.
             await asyncio.sleep(0)
+
+    def _shed_expired(self, jobs: List[_Job]) -> List[_Job]:
+        """Deadline-aware shedding: answer ``BUSY`` for drained commands
+        that sat queued past the deadline -- their clients have already
+        retried or given up, and executing them would stretch the queue
+        for everyone still waiting."""
+        cutoff = asyncio.get_running_loop().time() - self.queue_deadline_s
+        kept: List[_Job] = []
+        for job in jobs:
+            if job.enqueued_at < cutoff:
+                self.metrics.shed_expired += 1
+                self.metrics.shed += 1
+                if not job.future.done():
+                    job.future.set_result(BUSY)
+                self._queue.task_done()
+            else:
+                kept.append(job)
+        return kept
 
     # -- TCP connection handling ---------------------------------------
 
@@ -231,6 +345,7 @@ class CacheServerProcess:
         )
         writer_task = asyncio.create_task(self._write_loop(outbox, writer))
         loop = asyncio.get_running_loop()
+        owner = object()  # identity for the per-connection in-flight cap
         try:
             quitting = False
             while not quitting:
@@ -254,7 +369,7 @@ class CacheServerProcess:
                     if command.op == "quit":
                         quitting = True
                         break
-                    future = await self.submit(command)
+                    future = await self.submit(command, owner=owner)
                     if not command.noreply:
                         await outbox.put(future)
         finally:
@@ -321,7 +436,7 @@ class MemoryClient:
             command = event.command
             if command.op == "quit":
                 continue  # nothing to close on a memory transport
-            future = await self._server.submit(command)
+            future = await self._server.submit(command, owner=self)
             if not command.noreply:
                 futures.append(future)
         chunks = [await future for future in futures]
@@ -335,23 +450,49 @@ class TCPClient:
     stream in FIFO order and resolves each request's future, so many
     requests can be in flight on one connection (open-loop load needs
     that).
+
+    Hardened against a dying server: :meth:`connect` bounds the
+    connection attempt with ``connect_timeout``, a nonzero
+    ``request_timeout`` bounds each response wait, and once the stream
+    drops every pending and future :meth:`request` raises a clean
+    :class:`ConnectionError` instead of hanging on a response that will
+    never arrive.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        connect_timeout: float = 5.0,
+        request_timeout: float = 0.0,
+    ) -> None:
+        if connect_timeout <= 0:
+            raise ConfigurationError("connect_timeout must be > 0")
+        if request_timeout < 0:
+            raise ConfigurationError("request_timeout must be >= 0")
+        self.connect_timeout = connect_timeout
+        self.request_timeout = request_timeout
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._pending: "asyncio.Queue[Tuple[str, asyncio.Future[bytes]]]" = (
             asyncio.Queue()
         )
         self._reader_task: Optional[asyncio.Task] = None
+        self._dead = False
 
     async def connect(self, host: str, port: int) -> None:
-        self._reader, self._writer = await asyncio.open_connection(
-            host, port
-        )
+        try:
+            self._reader, self._writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), self.connect_timeout
+            )
+        except asyncio.TimeoutError:
+            raise ConnectionError(
+                f"connect to {host}:{port} timed out after "
+                f"{self.connect_timeout}s"
+            ) from None
+        self._dead = False
         self._reader_task = asyncio.create_task(self._read_loop())
 
     async def close(self) -> None:
+        self._dead = True
         if self._writer is not None:
             try:
                 self._writer.close()
@@ -370,41 +511,73 @@ class TCPClient:
 
         ``op`` tells the framer what shape to read (``get``/``stats``
         end at ``END``; everything else is one line). One command per
-        call; pipelining comes from overlapping calls.
+        call; pipelining comes from overlapping calls. Raises
+        :class:`ConnectionError` when the connection is gone (the
+        server died mid-pipeline) or the response misses a nonzero
+        ``request_timeout``.
         """
         if self._writer is None:
             raise RuntimeError("request() before connect()")
+        if self._dead or self._writer.is_closing():
+            raise ConnectionError("connection lost")
         future: "asyncio.Future[bytes]" = (
             asyncio.get_running_loop().create_future()
         )
-        await self._pending.put((op, future))
-        self._writer.write(data)
-        await self._writer.drain()
+        # No await between the liveness check and the enqueue (put on an
+        # unbounded queue never suspends): the reader's fail-everything
+        # sweep cannot miss this future.
+        self._pending.put_nowait((op, future))
+        try:
+            self._writer.write(data)
+            await self._writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            self._dead = True
+            if not future.done():
+                future.set_exception(
+                    ConnectionError(f"send failed: {exc or 'closed'}")
+                )
+        if self.request_timeout > 0:
+            try:
+                return await asyncio.wait_for(future, self.request_timeout)
+            except asyncio.TimeoutError:
+                self._dead = True
+                raise ConnectionError(
+                    f"no response within {self.request_timeout}s"
+                ) from None
         return await future
 
     async def _read_loop(self) -> None:
         if self._reader is None:
             raise RuntimeError("_read_loop() before connect()")
+        future: Optional["asyncio.Future[bytes]"] = None
         try:
             while True:
                 op, future = await self._pending.get()
                 response = await self._read_response(op)
                 if not future.done():
                     future.set_result(response)
+                future = None
         except (
             asyncio.IncompleteReadError,
             ConnectionResetError,
             BrokenPipeError,
             OSError,
         ):
-            # Connection gone: fail every waiter so requests unblock.
+            # Connection gone: flag the client dead *first* (request()
+            # checks before enqueueing), then fail every waiter --
+            # including the request whose response was mid-frame, which
+            # is already popped off the pending queue -- so in-flight
+            # requests unblock with a clean error.
+            self._dead = True
             while True:
+                if future is not None and not future.done():
+                    future.set_exception(
+                        ConnectionError("server closed the connection")
+                    )
                 try:
                     _, future = self._pending.get_nowait()
                 except asyncio.QueueEmpty:
                     break
-                if not future.done():
-                    future.set_exception(ConnectionResetError())
 
     async def _read_response(self, op: str) -> bytes:
         if self._reader is None:

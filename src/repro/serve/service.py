@@ -72,6 +72,11 @@ class CacheService:
         self._apps = set(cluster.servers[0].engines)
         #: key -> (flags, payload or None-for-synthesized, value_size)
         self._values: Dict[str, Tuple[int, Optional[bytes], int]] = {}
+        #: Set by :class:`~repro.serve.server.CacheServerProcess` so the
+        #: ``stats`` wire command can surface server counters (shed,
+        #: queue-depth high water) next to the cache totals.
+        self.server_metrics = None
+        self.server = None
 
     # ------------------------------------------------------------------
 
@@ -251,7 +256,7 @@ class CacheService:
     def stats_pairs(self) -> List[Tuple[str, object]]:
         stats = self.cluster.aggregate_stats()
         total = stats.total
-        return [
+        pairs: List[Tuple[str, object]] = [
             ("cmd_get", total.gets),
             ("cmd_set", total.sets),
             ("get_hits", total.get_hits),
@@ -259,5 +264,23 @@ class CacheService:
             ("hit_rate", f"{total.hit_rate():.4f}"),
             ("evictions", total.evictions),
             ("shards", len(self.cluster.servers)),
+            ("live_shards", sum(1 for f in self.cluster.live_mask() if f)),
+            ("dead_requests", total.dead_requests),
             ("curr_items_bytes", int(self.cluster.memory_in_use())),
         ]
+        metrics = self.server_metrics
+        if metrics is not None:
+            pairs.extend(
+                [
+                    ("server_requests", metrics.requests),
+                    ("server_shed", metrics.shed),
+                    ("server_shed_expired", metrics.shed_expired),
+                    ("server_shed_inflight", metrics.shed_inflight),
+                    ("server_batches", metrics.batches),
+                    (
+                        "queue_depth_high_water",
+                        metrics.queue_depth_high_water,
+                    ),
+                ]
+            )
+        return pairs

@@ -245,9 +245,18 @@ def serve_on_cluster(
     (:meth:`~repro.cluster.Cluster.process_batch`) instead of the
     offline replay loops, so the stats afterwards reflect whatever the
     open-loop schedule actually delivered -- shed requests never reach
-    the cluster.
+    the cluster. A ``faults`` block attaches a
+    :class:`~repro.cluster.FaultInjector` exactly like an offline
+    replay; the serve harness arms it on the virtual-time axis so the
+    fault timeline is seed-deterministic even though wall-clock
+    latencies are not.
     """
-    from repro.cluster import RebalanceConfig, Rebalancer
+    from repro.cluster import (
+        FaultInjector,
+        FaultSchedule,
+        RebalanceConfig,
+        Rebalancer,
+    )
     from repro.serve import ServeConfig, run_serve
 
     chosen = _chosen_apps(scenario, trace)
@@ -258,6 +267,12 @@ def serve_on_cluster(
             cluster.attach_rebalancer(
                 Rebalancer(cluster, rebalance, seed=scenario.seed)
             )
+    if scenario.faults is not None:
+        # An empty schedule attaches nothing: the no-fault serve path
+        # must stay byte-identical to a scenario without the block.
+        schedule = FaultSchedule.from_dict(scenario.faults)
+        if schedule.enabled:
+            cluster.attach_faults(FaultInjector(cluster, schedule))
     compiled = getattr(trace, "compiled", None)
     if compiled is None:
         raise ConfigurationError(

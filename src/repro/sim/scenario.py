@@ -96,14 +96,23 @@ class Scenario:
             "duration_s": D, "arrivals": "poisson"|"fixed",
             "backpressure": "queue"|"shed", "connections": C,
             "queue_depth": Q, "max_batch": B,
-            "transport": "memory"|"tcp"}``); requires a ``cluster``
-            block, incompatible with ``faults``. Instead of replaying
-            the trace offline, the scenario stands up the asyncio
-            memcached-style server (see :mod:`repro.serve`) and drives
-            it open-loop at ``rate`` req/s for ``duration_s`` seconds;
-            the result's cluster report grows a ``serve`` section with
-            latency percentiles, shed counts and the queue-depth
-            timeline.
+            "transport": "memory"|"tcp", "queue_deadline_s": T,
+            "max_inflight": I, "retry": {...}}``); requires a
+            ``cluster`` block. Instead of replaying the trace offline,
+            the scenario stands up the asyncio memcached-style server
+            (see :mod:`repro.serve`) and drives it open-loop at
+            ``rate`` req/s for ``duration_s`` seconds; the result's
+            cluster report grows a ``serve`` section with latency
+            percentiles, shed counts and the queue-depth timeline. A
+            ``retry`` sub-block gives the load generator's clients a
+            :class:`~repro.serve.RetryPolicy` (attempts, capped
+            exponential backoff, per-request deadline, retry budget,
+            hedged reads). Combined with a ``faults`` block the fault
+            events fire live, on the same virtual-time request-count
+            axis as offline replays (``at`` offsets count requests
+            served, not seconds), and the serve section grows a
+            ``faults`` view: recovery metrics plus the
+            p99-during-outage latency timeline.
         name: Optional label (sweeps generate one per grid point).
     """
 
@@ -177,11 +186,6 @@ class Scenario:
                 raise ConfigurationError(
                     "serve needs a cluster block: the live server fronts "
                     "a shard cluster"
-                )
-            if self.faults is not None and self.faults["events"]:
-                raise ConfigurationError(
-                    "serve and faults cannot be combined yet: the live "
-                    "server has no wall-clock fault schedule"
                 )
             from repro.serve import ServeConfig
 

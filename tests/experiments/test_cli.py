@@ -235,6 +235,59 @@ def test_faults_unknown_policy_exits_2(capsys):
     assert "ignore" in one_error_line(capsys)
 
 
+#: A serve+faults spec (chaos serving) the malformed variants mutate.
+CHAOS_SCENARIO = {
+    **FAULTED_SCENARIO,
+    "serve": {
+        "rate": 4000.0,
+        "duration_s": 0.05,
+        "arrivals": "fixed",
+        "retry": {"max_attempts": 2, "deadline_s": 0.1},
+    },
+}
+
+
+def test_chaos_serve_spec_runs(capsys):
+    assert main(["run", json.dumps(CHAOS_SCENARIO)]) == 0
+    out = capsys.readouterr().out
+    assert "serve (" in out
+    assert "faults (failover)" in out
+    assert "p99 timeline" in out
+
+
+def test_retry_unknown_field_exits_2(capsys):
+    spec = dict(CHAOS_SCENARIO)
+    spec["serve"] = dict(
+        spec["serve"], retry={"max_attempts": 2, "attempts": 3}
+    )
+    assert main(["run", json.dumps(spec)]) == 2
+    assert "attempts" in one_error_line(capsys)
+
+
+def test_retry_bad_value_exits_2(capsys):
+    spec = dict(CHAOS_SCENARIO)
+    spec["serve"] = dict(spec["serve"], retry={"max_attempts": 0})
+    assert main(["run", json.dumps(spec)]) == 2
+    assert "max_attempts" in one_error_line(capsys)
+
+
+def test_retry_non_mapping_exits_2(capsys):
+    spec = dict(CHAOS_SCENARIO)
+    spec["serve"] = dict(spec["serve"], retry=[1, 2])
+    assert main(["run", json.dumps(spec)]) == 2
+    assert "mapping" in one_error_line(capsys)
+
+
+def test_serve_bad_degradation_fields_exit_2(capsys):
+    spec = dict(CHAOS_SCENARIO)
+    spec["serve"] = dict(spec["serve"], queue_deadline_s=-1.0)
+    assert main(["run", json.dumps(spec)]) == 2
+    assert "queue_deadline_s" in one_error_line(capsys)
+    spec["serve"] = dict(CHAOS_SCENARIO["serve"], max_inflight=-2)
+    assert main(["run", json.dumps(spec)]) == 2
+    assert "max_inflight" in one_error_line(capsys)
+
+
 def test_bad_sweep_spec_exits_2(capsys):
     sweep = dict(TINY_SWEEP)
     sweep["axis"] = sweep.pop("axes")  # typo'd field

@@ -52,7 +52,7 @@ def test_registry_covers_every_paper_artifact():
         "fig1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
         "tab1", "tab2", "tab3", "tab4", "tab5", "tab6", "tab7",
         "sensitivity", "cluster_scaling", "cluster_rebalance",
-        "cluster_faults", "cluster_serve",
+        "cluster_faults", "cluster_serve", "serve_chaos",
     }
     assert set(REGISTRY) == expected
 

@@ -132,11 +132,15 @@ class TestScenarioValidation:
         with pytest.raises(ConfigurationError, match="cluster"):
             make_scenario(cluster=None)
 
-    def test_serve_rejects_fault_events(self):
-        with pytest.raises(ConfigurationError, match="faults"):
-            make_scenario(
-                faults={"events": [{"kind": "crash", "shard": 0, "at": 10}]}
-            )
+    def test_serve_accepts_fault_events(self):
+        scenario = make_scenario(
+            faults={"events": [{"kind": "crash", "shard": 0, "at": 10}]}
+        )
+        assert scenario.serve is not None
+        assert scenario.faults["events"]
+        clone = Scenario.from_dict(scenario.to_dict())
+        assert clone.faults == scenario.faults
+        assert clone.serve == scenario.serve
 
     def test_serve_allows_empty_fault_block(self):
         scenario = make_scenario(faults={"events": []})

@@ -357,3 +357,242 @@ class TestConfigValidation:
             make_server(queue_depth=0)
         with pytest.raises(ConfigurationError, match="max_batch"):
             make_server(max_batch=0)
+
+    def test_degradation_knobs_validated(self):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="queue_deadline_s"):
+            make_server(queue_deadline_s=-0.1)
+        with pytest.raises(ConfigurationError, match="max_inflight"):
+            make_server(max_inflight=-1)
+        with pytest.raises(ConfigurationError, match="connect_timeout"):
+            TCPClient(connect_timeout=0)
+        with pytest.raises(ConfigurationError, match="request_timeout"):
+            TCPClient(request_timeout=-1.0)
+
+
+class TestClientHardening:
+    def test_server_death_mid_pipeline_raises_connection_error(self):
+        """Kill the server between pipelined requests: in-flight
+        requests fail with ConnectionError (not a hang), and so does
+        every later request on the dead client."""
+
+        async def scenario():
+            server = make_server()
+            host, port = await server.start_tcp()
+            client = TCPClient()
+            await client.connect(host, port)
+            assert await client.request(
+                b"set k 0 0 2\r\nhi\r\n", "set"
+            ) == b"STORED\r\n"
+            # Pipeline two requests, then yank the server before the
+            # responses can be written.
+            first = asyncio.ensure_future(client.request(b"get k\r\n", "get"))
+            second = asyncio.ensure_future(
+                client.request(b"get k\r\n", "get")
+            )
+            await asyncio.sleep(0)
+            await server.close()
+            with pytest.raises(ConnectionError):
+                await first
+            with pytest.raises(ConnectionError):
+                await second
+            with pytest.raises(ConnectionError):
+                await client.request(b"get k\r\n", "get")
+            await client.close()
+
+        asyncio.run(scenario())
+
+    def test_connect_timeout_raises_connection_error(self, monkeypatch):
+        async def hang_forever(host, port):
+            await asyncio.sleep(3600)
+
+        async def scenario():
+            monkeypatch.setattr(asyncio, "open_connection", hang_forever)
+            client = TCPClient(connect_timeout=0.05)
+            with pytest.raises(ConnectionError, match="timed out"):
+                await client.connect("127.0.0.1", 1)
+
+        asyncio.run(scenario())
+
+    def test_request_timeout_raises_connection_error(self):
+        async def scenario():
+            # Listener only, no worker: commands queue but nothing ever
+            # answers, so the response deadline must trip.
+            server = make_server()
+            server._worker = asyncio.get_running_loop().create_task(
+                asyncio.sleep(3600)
+            )
+            host, port = await server.start_tcp()
+            client = TCPClient(request_timeout=0.05)
+            await client.connect(host, port)
+            with pytest.raises(ConnectionError, match="no response"):
+                await client.request(b"get k\r\n", "get")
+            await client.close()
+            # Unstick the queued job so teardown's write loop can exit.
+            while True:
+                try:
+                    job = server._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                job.future.set_result(BUSY)
+                server._queue.task_done()
+            await server.close()
+
+        asyncio.run(scenario())
+
+
+class TestGracefulShutdown:
+    def test_shutdown_answers_queued_pipeline_before_closing(self):
+        """shutdown() drains the queue and flushes connection writers:
+        a client with pipelined requests in flight gets every response,
+        then EOF."""
+
+        async def scenario():
+            server = make_server()
+            host, port = await server.start_tcp()
+            reader, writer = await raw_client(host, port)
+            writer.write(
+                b"set a 0 0 1\r\nA\r\n" b"get a\r\n" b"set b 0 0 1\r\nB\r\n"
+            )
+            await writer.drain()
+            await asyncio.sleep(0.01)  # let the reader ingest it all
+            await server.shutdown()
+            data = await reader.read()
+            assert data == (
+                b"STORED\r\nVALUE a 0 1\r\nA\r\nEND\r\nSTORED\r\n"
+            )
+            writer.close()
+
+        asyncio.run(scenario())
+
+    def test_shutdown_stops_accepting_new_connections(self):
+        async def scenario():
+            server = make_server()
+            host, port = await server.start_tcp()
+            await server.shutdown()
+            with pytest.raises((ConnectionError, OSError)):
+                await asyncio.wait_for(raw_client(host, port), 0.5)
+
+        asyncio.run(scenario())
+
+    def test_shutdown_is_idempotent_with_close(self):
+        async def scenario():
+            server = make_server()
+            await server.start()
+            await server.shutdown()
+            await server.close()
+
+        asyncio.run(scenario())
+
+
+class TestGracefulDegradation:
+    def test_queue_deadline_sheds_expired_commands(self):
+        async def scenario():
+            # No worker yet: jobs age in the queue, then a worker with a
+            # tiny deadline sheds them all as BUSY.
+            server = make_server(queue_deadline_s=0.01)
+            futures = [
+                await server.submit(Command(op="get", keys=[f"k{i}"]))
+                for i in range(4)
+            ]
+            await asyncio.sleep(0.05)
+            await server.start()
+            responses = await asyncio.gather(*futures)
+            assert all(r == BUSY for r in responses)
+            assert server.metrics.shed_expired == 4
+            assert server.metrics.shed == 4
+            # Fresh commands execute normally.
+            fresh = await server.submit(Command(op="get", keys=["new"]))
+            assert (await fresh).endswith(b"END\r\n")
+            assert server.metrics.shed_expired == 4
+            await server.close()
+
+        asyncio.run(scenario())
+
+    def test_max_inflight_caps_per_connection(self):
+        async def scenario():
+            server = make_server(max_inflight=2)
+            owner = object()
+            futures = [
+                await server.submit(
+                    Command(op="get", keys=[f"k{i}"]), owner=owner
+                )
+                for i in range(5)
+            ]
+            busy = [f for f in futures if f.done() and f.result() == BUSY]
+            assert len(busy) == 3
+            assert server.metrics.shed_inflight == 3
+            # Another connection has its own budget.
+            other = await server.submit(
+                Command(op="get", keys=["other"]), owner=object()
+            )
+            assert not other.done()
+            await server.start()
+            await asyncio.gather(*futures, other)
+            # Completion released the slots: the same owner can submit
+            # again.
+            retry = await server.submit(
+                Command(op="get", keys=["again"]), owner=owner
+            )
+            assert (await retry).endswith(b"END\r\n")
+            await server.close()
+
+        asyncio.run(scenario())
+
+
+class TestStatsWire:
+    def test_stats_surfaces_server_metrics_over_tcp(self):
+        async def scenario():
+            server = make_server(backpressure="shed", queue_depth=1)
+            # Shed a couple of requests first so the counters are warm
+            # (no worker yet: the second and third submissions shed).
+            for i in range(3):
+                await server.submit(Command(op="get", keys=[f"k{i}"]))
+            host, port = await server.start_tcp()
+            reader, writer = await raw_client(host, port)
+            try:
+                data = await send_and_read(
+                    writer, reader, b"stats\r\n", b"END\r\n"
+                )
+                stats = {
+                    line.split()[1]: line.split()[2]
+                    for line in data.decode().splitlines()
+                    if line.startswith("STAT ")
+                }
+                assert stats["server_shed"] == "2"
+                assert int(stats["server_requests"]) >= 3
+                assert "server_shed_expired" in stats
+                assert "server_shed_inflight" in stats
+                assert int(stats["queue_depth_high_water"]) >= 1
+                assert stats["live_shards"] == "2"
+                assert "dead_requests" in stats
+            finally:
+                writer.close()
+                await server.close()
+
+        asyncio.run(scenario())
+
+    def test_stats_round_trips_through_tcp_client_framing(self):
+        async def scenario():
+            server = make_server()
+            host, port = await server.start_tcp()
+            client = TCPClient()
+            await client.connect(host, port)
+            try:
+                raw = await client.request(b"stats\r\n", "stats")
+                assert raw.endswith(b"END\r\n")
+                lines = raw.decode().splitlines()
+                keys = [
+                    line.split()[1]
+                    for line in lines
+                    if line.startswith("STAT ")
+                ]
+                assert "server_requests" in keys
+                assert "queue_depth_high_water" in keys
+                assert "cmd_get" in keys
+            finally:
+                await client.close()
+                await server.close()
+
+        asyncio.run(scenario())
